@@ -1,0 +1,822 @@
+(* Benchmark harness regenerating the paper's evaluation.
+
+   The paper (SPAA 2008) is theory-only: its entire evaluation is Table 1,
+   a table of approximation guarantees for three precedence classes.  This
+   harness regenerates that table *empirically*: for each row it measures
+   expected-makespan ratios against certified lower bounds, across sizes,
+   and fits the growth of those ratios against the claimed asymptotics
+   (log n for the previously-best algorithms, log log for this paper's).
+   Experiments E4-E7 and A1/A2 probe the supporting claims (exact optima,
+   Appendix C, the competitive argument, Theorem 7's random delays, the
+   Lemma-2/6 rounding constants, the LP backends); `perf` runs bechamel
+   micro-benchmarks of every substrate.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe e1 e4 perf # selected experiments
+   Experiment ids: e1 e2 e3 e4 e5 e6 e7 a1 a2 perf (see DESIGN.md). *)
+
+module W = Suu_workload.Workload
+module Table = Suu_util.Table
+module Summary = Suu_stats.Summary
+module Fit = Suu_stats.Fit
+module Runner = Suu_sim.Runner
+module Instance = Suu_core.Instance
+module LB = Suu_core.Lower_bound
+
+let section title =
+  Printf.printf "\n==== %s ====\n\n%!" title
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let mean_ratio inst policy ~bound ~seed ~reps =
+  Runner.ratio_to_bound inst policy ~bound ~seed ~reps
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Table 1, row "Independent":
+   O(log n) (Lin-Rajaraman / SUU-I-OBL) vs O(log log min(m,n))
+   (SUU-I-SEM). *)
+
+let e1 () =
+  section
+    "E1: Table 1 row 'Independent' - ratio to lower bound vs n \
+     (m = 8, 10 traces/point)";
+  let m = 8 and seed = 101 and reps = 10 in
+  let sizes = [| 8; 16; 32; 64; 128; 256 |] in
+  let hazards =
+    [ W.Near_one; W.Uniform { lo = 0.2; hi = 0.95 };
+      W.Specialists { capable = 3 } ]
+  in
+  let sem_by_hazard = ref [] in
+  let obl_by_hazard = ref [] in
+  List.iter
+    (fun hazard ->
+      let table =
+        Table.create
+          ~header:
+            [ "n"; "lower bd"; "SUU-I-SEM"; "SUU-I-OBL"; "grd-obl";
+              "greedy"; "rrobin" ]
+      in
+      let sem_r = Array.make (Array.length sizes) 0.0 in
+      let obl_r = Array.make (Array.length sizes) 0.0 in
+      Array.iteri
+        (fun k n ->
+          let inst = W.independent hazard ~n ~m ~seed:(seed + n) in
+          let bound = LB.combined inst in
+          let ratio p = mean_ratio inst p ~bound ~seed ~reps in
+          sem_r.(k) <- ratio (Suu_core.Suu_i_sem.policy inst);
+          obl_r.(k) <- ratio (Suu_core.Suu_i_obl.policy inst);
+          let gobl = ratio (Suu_core.Baselines.greedy_oblivious inst) in
+          let greedy = ratio (Suu_core.Baselines.greedy_completion inst) in
+          let rr = ratio (Suu_core.Baselines.round_robin inst) in
+          Table.add_float_row table (string_of_int n)
+            [ bound; sem_r.(k); obl_r.(k); gobl; greedy; rr ])
+        sizes;
+      Printf.printf "hazard: %s\n" (W.hazard_name hazard);
+      Table.print table;
+      print_newline ();
+      sem_by_hazard := (hazard, sem_r) :: !sem_by_hazard;
+      obl_by_hazard := (hazard, obl_r) :: !obl_by_hazard)
+    hazards;
+  (* Growth-shape check on the separating hazard (near-one): the paper
+     claims SEM grows like loglog n and OBL like log n. *)
+  let xs = Array.map float_of_int sizes in
+  let sem = List.assoc W.Near_one !sem_by_hazard in
+  let obl = List.assoc W.Near_one !obl_by_hazard in
+  let fit f ys = (Fit.fit_against ~f ~xs ~ys).Fit.slope in
+  note "growth fits on near-one hazard (slope per unit of growth fn):";
+  note "  SUU-I-SEM: %.3f per log2 n, %.3f per loglog2 n" (fit Fit.log2 sem)
+    (fit Fit.loglog2 sem);
+  note "  SUU-I-OBL: %.3f per log2 n, %.3f per loglog2 n" (fit Fit.log2 obl)
+    (fit Fit.loglog2 obl);
+  note
+    "expected shape: OBL's log2-slope clearly positive; SEM's much \
+     smaller (Table 1: O(log n) -> O(log log min(m,n))).";
+  (* Large-n extension: the MWU backend replaces the dense simplex so the
+     sweep reaches n = 1024 (ablation A2 justifies the swap). *)
+  let mwu = Suu_core.Solver_choice.Mwu 0.1 in
+  let table =
+    Table.create
+      ~header:[ "n"; "lower bd"; "SUU-I-SEM"; "SUU-I-OBL"; "greedy" ]
+  in
+  let big = [| 256; 512; 1024 |] in
+  let sem_big = Array.make (Array.length big) 0.0 in
+  let obl_big = Array.make (Array.length big) 0.0 in
+  Array.iteri
+    (fun k n ->
+      let inst = W.independent W.Near_one ~n ~m:16 ~seed:(seed + n) in
+      let bound = LB.combined ~solver:mwu inst in
+      let ratio p = mean_ratio inst p ~bound ~seed ~reps:3 in
+      sem_big.(k) <- ratio (Suu_core.Suu_i_sem.policy ~solver:mwu inst);
+      obl_big.(k) <- ratio (Suu_core.Suu_i_obl.policy ~solver:mwu inst);
+      let greedy = ratio (Suu_core.Baselines.greedy_completion inst) in
+      Table.add_float_row table (string_of_int n)
+        [ bound; sem_big.(k); obl_big.(k); greedy ])
+    big;
+  note "large-n extension (near-one hazard, m = 16, MWU LP backend):";
+  Table.print table;
+  let xs2 = Array.append xs (Array.map float_of_int big) in
+  let sem2 = Array.append sem sem_big in
+  let obl2 = Array.append obl obl_big in
+  let fit2 f ys = (Fit.fit_against ~f ~xs:xs2 ~ys).Fit.slope in
+  note "growth fits over the full 8..1024 sweep:";
+  note "  SUU-I-SEM: %.3f per log2 n" (fit2 Fit.log2 sem2);
+  note "  SUU-I-OBL: %.3f per log2 n" (fit2 Fit.log2 obl2)
+
+(* ------------------------------------------------------------------ *)
+(* E1m — the machine-count side of Table 1's min(m, n): ratios vs m. *)
+
+let e1m () =
+  section
+    "E1m: Table 1 row 'Independent' - ratio vs m (near-one hazard, \
+     n = 64, 10 traces/point)";
+  let n = 64 and seed = 131 and reps = 10 in
+  let table =
+    Table.create
+      ~header:[ "m"; "lower bd"; "SUU-I-SEM"; "SUU-I-OBL"; "greedy" ]
+  in
+  List.iter
+    (fun m ->
+      let inst = W.independent W.Near_one ~n ~m ~seed:(seed + m) in
+      let bound = LB.combined inst in
+      let ratio p = mean_ratio inst p ~bound ~seed ~reps in
+      Table.add_float_row table (string_of_int m)
+        [ bound;
+          ratio (Suu_core.Suu_i_sem.policy inst);
+          ratio (Suu_core.Suu_i_obl.policy inst);
+          ratio (Suu_core.Baselines.greedy_completion inst) ])
+    [ 2; 4; 8; 16; 32 ];
+  Table.print table;
+  note
+    "\nexpected shape: SEM's ratio stays flat in m as well - the bound \
+     is loglog of min(m, n), so varying either argument below the other \
+     changes only the loglog; OBL's log n factor is m-independent, so \
+     both curves are flat here and the SEM < OBL gap persists."
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Table 1, row "Disjoint Chains". *)
+
+let e2 () =
+  section
+    "E2: Table 1 row 'Disjoint Chains' - SUU-C ratio to lower bound \
+     (m = 4, 5 traces/point)";
+  let m = 4 and seed = 202 and reps = 5 in
+  let shapes = [| (8, 6); (12, 8); (20, 8); (24, 10) |] in
+  let table =
+    Table.create
+      ~header:
+        [ "n"; "chains"; "lower bd"; "SUU-C"; "greedy"; "serial";
+          "max congestion" ]
+  in
+  Array.iter
+    (fun (z, len) ->
+      let n = z * len in
+      let inst =
+        W.chains (W.Uniform { lo = 0.2; hi = 0.95 }) ~z ~length:len ~m
+          ~seed:(seed + n)
+      in
+      let bound = LB.combined inst in
+      let stats = Suu_core.Suu_c.new_stats () in
+      let suu_c = Suu_core.Suu_c.policy ~stats inst in
+      let rc = mean_ratio inst suu_c ~bound ~seed ~reps in
+      let rg =
+        mean_ratio inst
+          (Suu_core.Baselines.greedy_completion inst)
+          ~bound ~seed ~reps
+      in
+      let rs =
+        mean_ratio inst (Suu_core.Baselines.serial inst) ~bound ~seed ~reps
+      in
+      Table.add_float_row table (string_of_int n)
+        [ float_of_int z; bound; rc; rg; rs;
+          float_of_int stats.Suu_core.Suu_c.max_congestion ])
+    shapes;
+  Table.print table;
+  note
+    "\nexpected shape: SUU-C's ratio stays within a slowly-growing band \
+     (O(log(n+m) loglog min(m,n)) with substantial constants from the \
+     6x rounding and the {0..H} delays); congestion stays near the \
+     O(log(n+m)/loglog(n+m)) bound of Theorem 7."
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Table 1, row "Directed Forests". *)
+
+let e3 () =
+  section
+    "E3: Table 1 row 'Directed Forests' - SUU-T ratio to lower bound \
+     (m = 4, 5 traces/point)";
+  let m = 4 and seed = 303 and reps = 5 in
+  let sizes = [| 32; 64; 128; 192 |] in
+  let table =
+    Table.create
+      ~header:[ "n"; "blocks"; "lower bd"; "SUU-T"; "greedy"; "rrobin" ]
+  in
+  Array.iter
+    (fun n ->
+      let inst =
+        W.forest (W.Uniform { lo = 0.2; hi = 0.95 }) ~n ~trees:(max 1 (n / 8))
+          ~orientation:`Mixed ~m ~seed:(seed + n)
+      in
+      let blocks = Array.length (Suu_core.Suu_t.blocks inst) in
+      let bound = LB.combined inst in
+      let rt =
+        mean_ratio inst (Suu_core.Suu_t.policy inst) ~bound ~seed ~reps
+      in
+      let rg =
+        mean_ratio inst
+          (Suu_core.Baselines.greedy_completion inst)
+          ~bound ~seed ~reps
+      in
+      let rr =
+        mean_ratio inst (Suu_core.Baselines.round_robin inst) ~bound ~seed
+          ~reps
+      in
+      Table.add_float_row table (string_of_int n)
+        [ float_of_int blocks; bound; rt; rg; rr ])
+    sizes;
+  Table.print table;
+  note
+    "\nexpected shape: block count <= floor(log2 n) + 1 (heavy-path \
+     bound); SUU-T's ratio tracks blocks x SUU-C's ratio (Theorem 12)."
+
+(* ------------------------------------------------------------------ *)
+(* E4 — measured ratios against the exact optimum on tiny instances. *)
+
+let e4 () =
+  section "E4: tiny instances vs exact E[T_OPT] (DP; 1000 traces/point)";
+  let reps = 1000 and seed = 404 in
+  let cases = [ (3, 2); (4, 2); (4, 3); (5, 2) ] in
+  let table =
+    Table.create
+      ~header:
+        [ "n x m"; "E[T_OPT]"; "DP policy"; "SUU-I-SEM"; "SUU-I-OBL";
+          "greedy" ]
+  in
+  List.iter
+    (fun (n, m) ->
+      let inst =
+        W.independent (W.Uniform { lo = 0.2; hi = 0.9 }) ~n ~m
+          ~seed:(seed + (10 * n) + m)
+      in
+      let opt = Suu_core.Exact_dp.expected_makespan inst in
+      let ratio p = mean_ratio inst p ~bound:opt ~seed ~reps in
+      Table.add_float_row table (Printf.sprintf "%dx%d" n m)
+        [ opt;
+          ratio (Suu_core.Exact_dp.policy inst);
+          ratio (Suu_core.Suu_i_sem.policy inst);
+          ratio (Suu_core.Suu_i_obl.policy inst);
+          ratio (Suu_core.Baselines.greedy_completion inst) ])
+    cases;
+  Table.print table;
+  (* Chain-structured exact optima (Malewicz's bounded-width regime via
+     the per-chain-position DP) validate SUU-C against true E[T_OPT]. *)
+  let ctable =
+    Table.create
+      ~header:[ "z x len x m"; "E[T_OPT]"; "SUU-C"; "greedy"; "serial" ]
+  in
+  List.iter
+    (fun (z, len, m) ->
+      let inst =
+        W.chains (W.Uniform { lo = 0.2; hi = 0.9 }) ~z ~length:len ~m
+          ~seed:(seed + (100 * z) + len)
+      in
+      let opt = Suu_core.Exact_dp.chains_expected_makespan inst in
+      let ratio p = mean_ratio inst p ~bound:opt ~seed ~reps:400 in
+      Table.add_float_row ctable
+        (Printf.sprintf "%dx%dx%d" z len m)
+        [ opt;
+          ratio (Suu_core.Suu_c.policy inst);
+          ratio (Suu_core.Baselines.greedy_completion inst);
+          ratio (Suu_core.Baselines.serial inst) ])
+    [ (2, 4, 2); (3, 5, 2); (2, 8, 3) ];
+  note "chains against the exact optimum (chain-position DP; 400 traces):";
+  Table.print ctable;
+  note
+    "\nexpected shape: DP-policy ratio = 1.0 (sanity: the simulator \
+     reproduces the computed optimum); all ratios small constants, \
+     consistent with the O(.) guarantees at trivial sizes; SUU-C's \
+     true ratio at small sizes is dominated by its 6x rounding and \
+     {0..H} delay constants."
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Appendix C: STC-I on stochastic job lengths. *)
+
+let e5 () =
+  section "E5: Appendix C - STC-I ratio to the offline LL bound (m = 4)";
+  let m = 4 and reps = 30 in
+  let sizes = [| 8; 16; 32; 48 |] in
+  let table =
+    Table.create
+      ~header:
+        [ "n"; "K"; "E[makespan]"; "E[offline]"; "ratio";
+          "STC-R ratio" ]
+  in
+  Array.iter
+    (fun n ->
+      let rng = Suu_prng.Rng.create ~seed:(505 + n) in
+      let rates =
+        Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.3 ~hi:3.0)
+      in
+      let speeds =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.1 ~hi:2.0))
+      in
+      let inst = Suu_stoch.Stoch_instance.make ~rates speeds in
+      let runs = Suu_stoch.Stc_i.runs inst ~seed:(606 + n) ~reps in
+      let mk =
+        Summary.mean (Array.map (fun r -> r.Suu_stoch.Stc_i.makespan) runs)
+      in
+      let off =
+        Summary.mean (Array.map (fun r -> r.Suu_stoch.Stc_i.offline) runs)
+      in
+      let runs_r = Suu_stoch.Stc_r.runs inst ~seed:(606 + n) ~reps in
+      let mk_r =
+        Summary.mean (Array.map (fun r -> r.Suu_stoch.Stc_r.makespan) runs_r)
+      in
+      let off_r =
+        Summary.mean (Array.map (fun r -> r.Suu_stoch.Stc_r.offline) runs_r)
+      in
+      Table.add_float_row table (string_of_int n)
+        [ float_of_int (Suu_stoch.Stc_i.rounds inst); mk; off; mk /. off;
+          mk_r /. off_r ])
+    sizes;
+  Table.print table;
+  note
+    "\nexpected shape: both ratios small, near-flat constants as n \
+     grows (Theorem 13: O(log log n)); STC-R pays a little more since \
+     restarts are weaker than preemption and each round uses the \
+     2-approximate LST schedule."
+
+(* ------------------------------------------------------------------ *)
+(* E6 — the competitive claim: deterministic adversarial thresholds. *)
+
+(* Offline fractional bound: the minimum load assignment covering each
+   job j's clipped threshold w_j (the LP a clairvoyant scheduler must
+   still satisfy). *)
+let offline_bound inst w =
+  let m = Instance.m inst and n = Instance.n inst in
+  let p = Suu_lp.Problem.create ~name:"offline" () in
+  let t = Suu_lp.Problem.add_var ~obj:1.0 p in
+  let x = Array.init m (fun _ -> Array.init n (fun _ -> Suu_lp.Problem.add_var p)) in
+  for j = 0 to n - 1 do
+    let terms =
+      List.init m (fun i ->
+          (x.(i).(j), Instance.clipped_log_failure inst ~target:w.(j) i j))
+    in
+    Suu_lp.Problem.add_constraint p terms Suu_lp.Problem.Ge w.(j)
+  done;
+  for i = 0 to m - 1 do
+    Suu_lp.Problem.add_constraint p
+      ((t, -1.0) :: List.init n (fun j -> (x.(i).(j), 1.0)))
+      Suu_lp.Problem.Le 0.0
+  done;
+  fst (Suu_lp.Simplex.solve_exn p)
+
+let e6 () =
+  section
+    "E6: competitive analysis - adversarial thresholds in [1, pmax] \
+     (n = 32, m = 8, deterministic traces)";
+  let n = 32 and m = 8 in
+  let inst =
+    W.independent (W.Uniform { lo = 0.3; hi = 0.9 }) ~n ~m ~seed:707
+  in
+  let spreads = [| 2.0; 8.0; 32.0; 128.0 |] in
+  let table =
+    Table.create
+      ~header:[ "pmax/pmin"; "offline LB"; "SUU-I-SEM"; "SUU-I-OBL" ]
+  in
+  Array.iter
+    (fun spread ->
+      (* log-spaced thresholds across jobs: the adversary mixes cheap and
+         expensive jobs. *)
+      let w =
+        Array.init n (fun j ->
+            Float.pow spread (float_of_int j /. float_of_int (n - 1)))
+      in
+      let trace = Suu_sim.Trace.of_thresholds w in
+      let off = offline_bound inst w in
+      let run p =
+        float_of_int
+          (Suu_sim.Engine.makespan inst p ~trace
+             ~rng:(Suu_prng.Rng.create ~seed:1))
+        /. off
+      in
+      Table.add_float_row table (Table.fmt_g spread)
+        [ off;
+          run (Suu_core.Suu_i_sem.policy inst);
+          run (Suu_core.Suu_i_obl.policy inst) ])
+    spreads;
+  Table.print table;
+  note
+    "\nexpected shape: SEM's ratio grows like log(pmax/pmin) (the \
+     doubling rounds pay one near-optimal pass per doubling); OBL pays \
+     a pass per *unit* of pmax, so its ratio grows linearly in pmax \
+     and separates sharply at large spreads.";
+  note
+    "(Section 'Our results': the doubling schedule is \
+     O(log(pmax/pmin))-competitive for deterministic adversarial \
+     processing times.)"
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 7 ablation: random delays vs none. *)
+
+let e7 () =
+  section
+    "E7: Theorem 7 ablation - pseudoschedule congestion with and \
+     without random delays (lockstep chains, n = 192, m = 8)";
+  (* Adversarial lockstep structure: 48 identical chains of 4 stages;
+     stage k runs well only on machine k.  Without delays every chain
+     requests the same machine in the same superstep.  (The chain count
+     keeps t_LP2 large enough that the 6x-rounded job lengths stay below
+     gamma - otherwise every job is "long" and the superstep machinery
+     never engages.) *)
+  let z = 48 and len = 4 and m = 8 in
+  let n = z * len in
+  let q =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            let stage = j mod len in
+            if i = stage then 0.5 else 0.995))
+  in
+  let edges = ref [] in
+  for c = 0 to z - 1 do
+    for k = 1 to len - 1 do
+      edges := (((c * len) + k) - 1, (c * len) + k) :: !edges
+    done
+  done;
+  let inst =
+    Instance.make ~name:"lockstep-chains"
+      ~dag:(Suu_dag.Dag.of_edges ~n !edges)
+      q
+  in
+  let chains =
+    match Suu_dag.Chains.of_dag (Instance.dag inst) with
+    | Some c -> c
+    | None -> assert false
+  in
+  let prep = Suu_core.Suu_c.prepare ~top_machines:2 inst ~chains in
+  Printf.printf "gamma = %d, H = %d, long jobs = %d\n\n"
+    prep.Suu_core.Suu_c.gamma prep.Suu_core.Suu_c.load
+    (List.length prep.Suu_core.Suu_c.long_jobs);
+  let bound = LB.combined inst in
+  let table =
+    Table.create
+      ~header:
+        [ "delays"; "max congestion"; "mean superstep len"; "E[T]";
+          "ratio" ]
+  in
+  List.iter
+    (fun (label, delays, granularity) ->
+      let stats = Suu_core.Suu_c.new_stats () in
+      let p =
+        Suu_core.Suu_c.policy_of_prepared ~stats ~random_delays:delays
+          ~delay_granularity:granularity inst prep
+      in
+      let xs = Runner.makespans inst p ~seed:809 ~reps:5 in
+      let s = Summary.of_array xs in
+      Table.add_float_row table label
+        [ float_of_int stats.Suu_core.Suu_c.max_congestion;
+          float_of_int stats.Suu_core.Suu_c.total_congestion
+          /. float_of_int (max 1 stats.Suu_core.Suu_c.supersteps);
+          s.Summary.mean; s.Summary.mean /. bound ])
+    [ ("on", true, 1); ("on (coarse g=12)", true, 12); ("off", false, 1) ];
+  Table.print table;
+  note
+    "\nexpected shape: without delays all chains start synchronized and \
+     collide on the same best machines, inflating max congestion; \
+     random delays in {0..H} flatten it toward the \
+     O(log(n+m)/loglog(n+m)) bound.  (At these sizes the delays also \
+     pay an additive H cost in makespan - the theorem trades a \
+     worst-case multiplicative factor for it.)"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — replication waste: the paper's Section 1 observes that ganging
+   machines on one job fights unreliability but costs throughput; this
+   measures where each policy's machine-steps actually go. *)
+
+let e8 () =
+  section
+    "E8: machine-step breakdown - busy / wasted / idle \
+     (volunteers hazard, n = 64, m = 8, 10 traces)";
+  let inst =
+    W.independent (W.Volunteers { reliable_fraction = 0.2 }) ~n:64 ~m:8
+      ~seed:1212
+  in
+  let m = Instance.m inst in
+  let reps = 10 in
+  let table =
+    Table.create
+      ~header:[ "policy"; "E[T]"; "busy %"; "wasted %"; "idle %" ]
+  in
+  let measure label policy =
+    let rngs = Suu_sim.Runner.rep_rngs ~seed:1213 ~reps in
+    let totals = Array.make 4 0.0 in
+    Array.iter
+      (fun (trace_rng, policy_rng) ->
+        let trace =
+          Suu_sim.Trace.draw ~n:(Instance.n inst) trace_rng
+        in
+        let r = Suu_sim.Engine.run inst policy ~trace ~rng:policy_rng in
+        let steps = float_of_int (m * r.Suu_sim.Engine.makespan) in
+        totals.(0) <- totals.(0) +. float_of_int r.Suu_sim.Engine.makespan;
+        totals.(1) <-
+          totals.(1) +. (float_of_int r.Suu_sim.Engine.busy_steps /. steps);
+        totals.(2) <-
+          totals.(2)
+          +. (float_of_int r.Suu_sim.Engine.wasted_steps /. steps);
+        totals.(3) <-
+          totals.(3) +. (float_of_int r.Suu_sim.Engine.idle_steps /. steps))
+      rngs;
+    let f = float_of_int reps in
+    Table.add_float_row table label
+      [ totals.(0) /. f;
+        100.0 *. totals.(1) /. f;
+        100.0 *. totals.(2) /. f;
+        100.0 *. totals.(3) /. f ]
+  in
+  measure "SUU-I-SEM" (Suu_core.Suu_i_sem.policy inst);
+  measure "SUU-I-OBL" (Suu_core.Suu_i_obl.policy inst);
+  measure "greedy" (Suu_core.Baselines.greedy_completion inst);
+  measure "round-robin" (Suu_core.Baselines.round_robin inst);
+  measure "serial" (Suu_core.Baselines.serial inst);
+  Table.print table;
+  note
+    "\nreading: 'wasted' steps hit already-completed jobs (the price of \
+     oblivious repetition); 'idle' is explicit under-use.  The LP \
+     schedules trade wasted work for worst-case guarantees; greedy \
+     keeps machines on live jobs but with no guarantee (cf. A3)."
+
+(* ------------------------------------------------------------------ *)
+(* A1 — the Lemma-2 rounding constants in practice. *)
+
+let a1 () =
+  section "A1: rounding ablation - Lemma 2 constants in practice";
+  let m = 8 and target = 0.5 in
+  let table =
+    Table.create
+      ~header:
+        [ "hazard/n"; "t* (LP)"; "rounded load"; "load/t*";
+          "min mass/target" ]
+  in
+  List.iter
+    (fun hazard ->
+      List.iter
+        (fun n ->
+          let inst = W.independent hazard ~n ~m ~seed:(909 + n) in
+          let jobs = Array.init n Fun.id in
+          let frac = Suu_core.Lp1.solve inst ~jobs ~target in
+          let a =
+            Suu_core.Rounding.round inst ~jobs ~target ~frac:frac.Suu_core.Lp1.x
+              ~frac_value:frac.Suu_core.Lp1.value
+          in
+          let load = float_of_int (Suu_core.Assignment.load a) in
+          let min_mass = ref infinity in
+          Array.iter
+            (fun j ->
+              let mass =
+                Suu_core.Assignment.clipped_log_mass inst ~target a j
+              in
+              if mass < !min_mass then min_mass := mass)
+            jobs;
+          Table.add_float_row table
+            (Printf.sprintf "%s/%d" (W.hazard_name hazard) n)
+            [ frac.Suu_core.Lp1.value; load;
+              load /. Float.max 1e-9 frac.Suu_core.Lp1.value;
+              !min_mass /. target ])
+        [ 32; 128 ])
+    [ W.Uniform { lo = 0.2; hi = 0.95 }; W.Near_one ];
+  Table.print table;
+  note
+    "\nexpected shape: load/t* <= 6 + o(1) (the paper's ceil(6 t*) \
+     cap) and min mass/target >= 1 (Lemma 2's coverage guarantee) - \
+     both with slack in practice."
+
+(* ------------------------------------------------------------------ *)
+(* A2 — LP backends: exact simplex vs MWU. *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+let a2 () =
+  section "A2: solver ablation - simplex vs multiplicative weights";
+  let table =
+    Table.create
+      ~header:[ "n x m"; "solver"; "LP value"; "vs simplex"; "time (s)" ]
+  in
+  List.iter
+    (fun (n, m) ->
+      let inst =
+        W.independent (W.Uniform { lo = 0.2; hi = 0.95 }) ~n ~m
+          ~seed:(1010 + n)
+      in
+      let jobs = Array.init n Fun.id in
+      let solve solver () =
+        (Suu_core.Lp1.solve ~solver inst ~jobs ~target:0.5).Suu_core.Lp1.value
+      in
+      let exact, t_exact = time_it (solve Suu_core.Solver_choice.Simplex) in
+      Table.add_row table
+        [ Printf.sprintf "%dx%d" n m; "simplex"; Table.fmt_g exact; "1";
+          Table.fmt_g t_exact ];
+      List.iter
+        (fun eps ->
+          let v, t = time_it (solve (Suu_core.Solver_choice.Mwu eps)) in
+          Table.add_row table
+            [ ""; Printf.sprintf "mwu eps=%.2f" eps; Table.fmt_g v;
+              Table.fmt_g (v /. exact); Table.fmt_g t ])
+        [ 0.3; 0.1; 0.05 ])
+    [ (64, 8); (256, 16) ];
+  Table.print table;
+  note
+    "\nexpected shape: MWU values within 1 + O(eps) of the simplex, \
+     with time growing ~1/eps^2 but scaling to sizes where the dense \
+     tableau becomes the bottleneck."
+
+(* ------------------------------------------------------------------ *)
+(* A3 — the conclusion's open question: can a greedy heuristic match the
+   LP-based bounds? *)
+
+let a3 () =
+  section
+    "A3: greedy-vs-LP probe (paper conclusion) - specialist trap family";
+  (* Machine 0 is the only machine that can run the k "captive" jobs
+     (q = 0.5 there, 1 elsewhere) and is also the best machine for the
+     easy jobs (q = 0.05 vs 0.5 elsewhere): a myopic greedy keeps machine
+     0 on easy jobs and starves the captives. *)
+  let m = 8 and n = 64 and seed = 1111 and reps = 20 in
+  let table =
+    Table.create
+      ~header:
+        [ "captive k"; "lower bd"; "SUU-I-SEM"; "greedy"; "rrobin" ]
+  in
+  List.iter
+    (fun k ->
+      let q =
+        Array.init m (fun i ->
+            Array.init n (fun j ->
+                if j < k then if i = 0 then 0.5 else 1.0
+                else if i = 0 then 0.05
+                else 0.5))
+      in
+      let inst =
+        Instance.make
+          ~name:(Printf.sprintf "trap-k%d" k)
+          ~dag:(Suu_dag.Dag.empty n) q
+      in
+      let bound = LB.combined inst in
+      let ratio p = mean_ratio inst p ~bound ~seed ~reps in
+      Table.add_float_row table (string_of_int k)
+        [ bound;
+          ratio (Suu_core.Suu_i_sem.policy inst);
+          ratio (Suu_core.Baselines.greedy_completion inst);
+          ratio (Suu_core.Baselines.round_robin inst) ])
+    [ 2; 4; 8; 16 ];
+  Table.print table;
+  note
+    "\nreading: the LP sees the captive jobs' only machine and \
+     schedules it there from step one; the myopic greedy serves easy \
+     jobs first and pays the captive chain afterwards.  On random \
+     hazards (E1) greedy matches or beats SUU-I-SEM - empirical support \
+     for the paper's closing conjecture that a greedy heuristic might \
+     achieve similar bounds, with this family showing where its \
+     constant degrades."
+
+(* ------------------------------------------------------------------ *)
+(* perf — bechamel micro-benchmarks of the substrates. *)
+
+let perf () =
+  section "perf: bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let open Bechamel in
+  let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let inst64 = W.independent uniform ~n:64 ~m:8 ~seed:7 in
+  let jobs64 = Array.init 64 Fun.id in
+  let frac64 = Suu_core.Lp1.solve inst64 ~jobs:jobs64 ~target:0.5 in
+  let chain_inst = W.chains uniform ~z:8 ~length:6 ~m:4 ~seed:8 in
+  let chain_chains =
+    match Suu_dag.Chains.of_dag (Instance.dag chain_inst) with
+    | Some c -> c
+    | None -> assert false
+  in
+  let tiny = W.independent uniform ~n:4 ~m:2 ~seed:9 in
+  let stoch_inst =
+    let rng = Suu_prng.Rng.create ~seed:10 in
+    let rates = Array.init 16 (fun _ -> Suu_prng.Rng.range rng ~lo:0.3 ~hi:3.0) in
+    let speeds =
+      Array.init 4 (fun _ ->
+          Array.init 16 (fun _ -> Suu_prng.Rng.range rng ~lo:0.1 ~hi:2.0))
+    in
+    Suu_stoch.Stoch_instance.make ~rates speeds
+  in
+  let ll_sol =
+    Suu_stoch.Ll_lp.solve stoch_inst
+      ~lengths:(Array.make 16 1.0)
+      ~jobs:(Array.init 16 Fun.id)
+  in
+  let run_sem () =
+    Runner.expected_makespan inst64 (Suu_core.Suu_i_sem.policy inst64)
+      ~seed:11 ~reps:1
+  in
+  let run_greedy () =
+    Runner.expected_makespan inst64
+      (Suu_core.Baselines.greedy_completion inst64)
+      ~seed:12 ~reps:1
+  in
+  let tests =
+    [
+      Test.make ~name:"lp1-simplex-64x8"
+        (Staged.stage (fun () ->
+             Suu_core.Lp1.solve inst64 ~jobs:jobs64 ~target:0.5));
+      Test.make ~name:"lp1-mwu0.1-64x8"
+        (Staged.stage (fun () ->
+             Suu_core.Lp1.solve ~solver:(Suu_core.Solver_choice.Mwu 0.1)
+               inst64 ~jobs:jobs64 ~target:0.5));
+      Test.make ~name:"lemma2-rounding-64x8"
+        (Staged.stage (fun () ->
+             Suu_core.Rounding.round inst64 ~jobs:jobs64 ~target:0.5
+               ~frac:frac64.Suu_core.Lp1.x
+               ~frac_value:frac64.Suu_core.Lp1.value));
+      Test.make ~name:"lp2-simplex-48x4"
+        (Staged.stage (fun () ->
+             Suu_core.Lp2.solve chain_inst ~chains:chain_chains));
+      Test.make ~name:"suu-i-sem-execution-64x8"
+        (Staged.stage (fun () -> run_sem ()));
+      Test.make ~name:"greedy-execution-64x8"
+        (Staged.stage (fun () -> run_greedy ()));
+      Test.make ~name:"exact-dp-4x2"
+        (Staged.stage (fun () -> Suu_core.Exact_dp.expected_makespan tiny));
+      Test.make ~name:"bvn-decompose-16x4"
+        (Staged.stage (fun () ->
+             Suu_stoch.Bvn.decompose ~m:4 ~n:16 ~x:ll_sol.Suu_stoch.Ll_lp.x
+               ~horizon:ll_sol.Suu_stoch.Ll_lp.value));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500
+      ~quota:(Time.second 0.5)
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"suu" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table = Table.create ~header:[ "benchmark"; "time/run"; "r^2" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> Float.nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> r
+        | None -> Float.nan
+      in
+      rows := (name, est, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, est, r2) ->
+      let human =
+        if Float.is_nan est then "-"
+        else if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      Table.add_row table [ name; human; Table.fmt_g r2 ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e1m", e1m); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2); ("a3", a3);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (have: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested;
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

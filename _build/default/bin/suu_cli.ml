@@ -1,0 +1,260 @@
+(* The `suu` command-line tool: generate SUU workloads, inspect them, and
+   race the paper's algorithms against baselines on simulated traces. *)
+
+open Cmdliner
+
+module W = Suu_workload.Workload
+module Table = Suu_util.Table
+
+(* --- shared arguments --- *)
+
+let hazard_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "uniform" -> Ok (W.Uniform { lo = 0.2; hi = 0.95 })
+    | "product" -> Ok W.Product
+    | "volunteers" -> Ok (W.Volunteers { reliable_fraction = 0.2 })
+    | "specialists" -> Ok (W.Specialists { capable = 3 })
+    | "near-one" -> Ok W.Near_one
+    | _ ->
+        Error
+          (`Msg
+            "hazard must be one of: uniform, product, volunteers, \
+             specialists, near-one")
+  in
+  let print fmt h = Format.pp_print_string fmt (W.hazard_name h) in
+  Arg.conv (parse, print)
+
+let hazard =
+  Arg.(
+    value
+    & opt hazard_conv (W.Uniform { lo = 0.2; hi = 0.95 })
+    & info [ "hazard" ] ~docv:"MODEL"
+        ~doc:
+          "Failure-probability model: uniform, product, volunteers, \
+           specialists or near-one.")
+
+let shape =
+  Arg.(
+    value
+    & opt (enum
+             [
+               ("independent", `Independent);
+               ("chains", `Chains);
+               ("forest", `Forest);
+               ("mapreduce", `Mapreduce);
+             ])
+        `Independent
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "Precedence structure: independent, chains, forest or mapreduce.")
+
+let n_jobs =
+  Arg.(value & opt int 24 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Job count.")
+
+let n_machines =
+  Arg.(
+    value & opt int 6 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Machine count.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let reps =
+  Arg.(
+    value & opt int 20
+    & info [ "reps" ] ~docv:"R" ~doc:"Number of simulated executions.")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Write the generated instance to FILE.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load the instance from FILE instead of generating one.")
+
+let build_instance shape hazard n m seed =
+  match shape with
+  | `Independent -> W.independent hazard ~n ~m ~seed
+  | `Chains ->
+      let z = max 1 (n / 6) in
+      W.random_chains hazard ~n ~z ~m ~seed
+  | `Forest ->
+      let trees = max 1 (n / 8) in
+      W.forest hazard ~n ~trees ~orientation:`Mixed ~m ~seed
+  | `Mapreduce ->
+      let maps = max 1 (2 * n / 3) in
+      W.mapreduce hazard ~maps ~reduces:(max 1 (n - maps)) ~m ~seed
+
+let obtain_instance load shape hazard n m seed save =
+  let inst =
+    match load with
+    | Some path -> Suu_core.Instance_io.load_file path
+    | None -> build_instance shape hazard n m seed
+  in
+  (match save with
+  | Some path ->
+      Suu_core.Instance_io.save_file path inst;
+      Printf.printf "saved instance to %s\n" path
+  | None -> ());
+  inst
+
+(* --- describe --- *)
+
+let describe shape hazard n m seed load save =
+  let inst = obtain_instance load shape hazard n m seed save in
+  print_endline (Suu_core.Auto.describe inst);
+  Printf.printf "lower bounds on E[T_OPT]:\n";
+  Printf.printf "  LP1(J,1/2)/2 : %.3f\n" (Suu_core.Lower_bound.lp1_half inst);
+  Printf.printf "  critical path: %.3f\n"
+    (Suu_core.Lower_bound.critical_path inst);
+  Printf.printf "  work / m     : %.3f\n" (Suu_core.Lower_bound.work inst);
+  Printf.printf "  combined     : %.3f\n" (Suu_core.Lower_bound.combined inst)
+
+let describe_cmd =
+  let doc = "Generate a workload and print its classification and bounds." in
+  Cmd.v
+    (Cmd.info "describe" ~doc)
+    Term.(
+      const describe $ shape $ hazard $ n_jobs $ n_machines $ seed
+      $ load_arg $ save_arg)
+
+(* --- simulate --- *)
+
+let policies_for inst =
+  let paper =
+    match Suu_dag.Classify.classify (Suu_core.Instance.dag inst) with
+    | Suu_dag.Classify.Independent ->
+        [
+          ("suu-i-sem", Suu_core.Suu_i_sem.policy inst);
+          ("suu-i-obl", Suu_core.Suu_i_obl.policy inst);
+        ]
+    | Suu_dag.Classify.Disjoint_chains _ ->
+        [ ("suu-c", Suu_core.Suu_c.policy inst) ]
+    | Suu_dag.Classify.Directed_forest _ ->
+        [ ("suu-t", Suu_core.Suu_t.policy inst) ]
+    | Suu_dag.Classify.General -> []
+  in
+  paper
+  @ [
+      ("greedy", Suu_core.Baselines.greedy_completion inst);
+      ("round-robin", Suu_core.Baselines.round_robin inst);
+      ("serial", Suu_core.Baselines.serial inst);
+    ]
+
+let simulate shape hazard n m seed reps load =
+  let inst = obtain_instance load shape hazard n m seed None in
+  print_endline (Suu_core.Auto.describe inst);
+  let bound = Suu_core.Lower_bound.combined inst in
+  Printf.printf "combined lower bound: %.2f\n\n" bound;
+  let table =
+    Table.create ~header:[ "policy"; "E[T]"; "ci95"; "min"; "max"; "ratio" ]
+  in
+  List.iter
+    (fun (label, policy) ->
+      let xs = Suu_sim.Runner.makespans inst policy ~seed:(seed + 1) ~reps in
+      let s = Suu_stats.Summary.of_array xs in
+      Table.add_float_row table label
+        Suu_stats.Summary.
+          [ s.mean; s.ci95; s.min; s.max; s.mean /. bound ])
+    (policies_for inst);
+  Table.print table
+
+let simulate_cmd =
+  let doc = "Race the paper's algorithms against baselines on a workload." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ shape $ hazard $ n_jobs $ n_machines $ seed $ reps
+      $ load_arg)
+
+(* --- optimal (tiny instances) --- *)
+
+let optimal hazard n m seed =
+  let inst = W.independent hazard ~n ~m ~seed in
+  (try
+     let opt = Suu_core.Exact_dp.expected_makespan inst in
+     Printf.printf "exact E[T_OPT] = %.4f\n" opt;
+     Printf.printf "combined lower bound = %.4f\n"
+       (Suu_core.Lower_bound.combined inst)
+   with Invalid_argument msg ->
+     Printf.eprintf "instance too large for exact DP: %s\n" msg;
+     exit 1)
+
+let optimal_cmd =
+  let doc = "Compute the exact optimum of a tiny instance by DP." in
+  Cmd.v
+    (Cmd.info "optimal" ~doc)
+    Term.(const optimal $ hazard $ n_jobs $ n_machines $ seed)
+
+(* --- stoch (Appendix C) --- *)
+
+let stoch n m seed reps =
+  let rng = Suu_prng.Rng.create ~seed in
+  let rates =
+    Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.3 ~hi:3.0)
+  in
+  let speeds =
+    Array.init m (fun _ ->
+        Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.1 ~hi:2.0))
+  in
+  let inst = Suu_stoch.Stoch_instance.make ~rates speeds in
+  let runs = Suu_stoch.Stc_i.runs inst ~seed:(seed + 1) ~reps in
+  let mk = Array.map (fun r -> r.Suu_stoch.Stc_i.makespan) runs in
+  let off = Array.map (fun r -> r.Suu_stoch.Stc_i.offline) runs in
+  let smk = Suu_stats.Summary.of_array mk in
+  let soff = Suu_stats.Summary.of_array off in
+  Printf.printf
+    "STC-I on n=%d exponential jobs, m=%d unrelated machines (K=%d \
+     rounds)\n"
+    n m
+    (Suu_stoch.Stc_i.rounds inst);
+  Printf.printf "E[makespan]        = %.3f ± %.3f\n" smk.Suu_stats.Summary.mean
+    smk.Suu_stats.Summary.ci95;
+  Printf.printf "E[offline LL bound] = %.3f ± %.3f\n"
+    soff.Suu_stats.Summary.mean soff.Suu_stats.Summary.ci95;
+  Printf.printf "ratio               = %.3f\n"
+    (smk.Suu_stats.Summary.mean /. soff.Suu_stats.Summary.mean)
+
+let stoch_cmd =
+  let doc = "Run STC-I (stochastic job lengths, Appendix C)." in
+  Cmd.v
+    (Cmd.info "stoch" ~doc)
+    Term.(const stoch $ n_jobs $ n_machines $ seed $ reps)
+
+(* --- gantt --- *)
+
+let gantt shape hazard n m seed load =
+  let inst = obtain_instance load shape hazard n m seed None in
+  print_endline (Suu_core.Auto.describe inst);
+  let policy = Suu_core.Auto.policy inst in
+  let rng = Suu_prng.Rng.create ~seed:(seed + 1) in
+  let trace = Suu_sim.Trace.draw ~n:(Suu_core.Instance.n inst) rng in
+  let result, steps = Suu_sim.Engine.run_recorded inst policy ~trace ~rng in
+  Printf.printf "policy %s, makespan %d (busy %d, wasted %d, idle %d)\n\n"
+    (Suu_core.Policy.name policy)
+    result.Suu_sim.Engine.makespan result.Suu_sim.Engine.busy_steps
+    result.Suu_sim.Engine.wasted_steps result.Suu_sim.Engine.idle_steps;
+  print_string (Suu_sim.Gantt.render steps);
+  print_newline ();
+  Array.iteri
+    (fun i u -> Printf.printf "machine %d utilization: %.0f%%\n" i (100. *. u))
+    (Suu_sim.Gantt.utilization steps)
+
+let gantt_cmd =
+  let doc = "Run one execution and draw its schedule as an ASCII Gantt." in
+  Cmd.v
+    (Cmd.info "gantt" ~doc)
+    Term.(
+      const gantt $ shape $ hazard $ n_jobs $ n_machines $ seed $ load_arg)
+
+let () =
+  let doc = "multiprocessor scheduling under uncertainty (SPAA 2008)" in
+  let info = Cmd.info "suu" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd ]))

@@ -1,0 +1,1 @@
+examples/build_forest.ml: Array List Printf String Suu_core Suu_dag Suu_prng Suu_sim Suu_stats Suu_util Suu_workload

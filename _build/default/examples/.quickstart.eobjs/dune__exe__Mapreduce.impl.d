@@ -1,0 +1,1 @@
+examples/mapreduce.ml: Array Fun Lazy List Printf Suu_core Suu_sim Suu_stats Suu_util Suu_workload

@@ -1,0 +1,1 @@
+examples/parallel_sweep.ml: Domain List Printf Suu_core Suu_sim Suu_stats Suu_util Suu_workload Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Suu_core Suu_dag Suu_sim Suu_stats

@@ -1,0 +1,1 @@
+examples/render_pipeline.ml: List Printf Suu_core Suu_dag Suu_sim Suu_stats Suu_util Suu_workload

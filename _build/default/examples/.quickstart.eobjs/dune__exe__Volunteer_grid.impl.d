@@ -1,0 +1,1 @@
+examples/volunteer_grid.ml: List Printf Suu_core Suu_sim Suu_stats Suu_util Suu_workload

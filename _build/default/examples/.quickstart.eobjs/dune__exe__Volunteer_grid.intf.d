@@ -1,0 +1,1 @@
+examples/volunteer_grid.mli:

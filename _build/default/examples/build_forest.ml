@@ -1,0 +1,70 @@
+(* Directed-forest precedence (SUU-T): a software build.  Each target's
+   dependencies form an in-tree — sources compile first, feed static
+   libraries, which feed the final link.  SUU-T peels the forest into
+   O(log n) blocks of chains and runs SUU-C per block.
+
+   Run with: dune exec examples/build_forest.exe *)
+
+module Dag = Suu_dag.Dag
+module Instance = Suu_core.Instance
+module W = Suu_workload.Workload
+module Runner = Suu_sim.Runner
+module Table = Suu_util.Table
+
+(* A hand-shaped build: two binaries, each linking two libraries, each
+   library compiling three sources.  Edges point source -> lib -> binary
+   (an in-forest: every job has exactly one successor). *)
+let build_dag () =
+  (* jobs 0..11: sources, 12..15: libs, 16..17: binaries *)
+  let edges = ref [] in
+  for lib = 0 to 3 do
+    for s = 0 to 2 do
+      edges := ((lib * 3) + s, 12 + lib) :: !edges
+    done;
+    edges := (12 + lib, 16 + (lib / 2)) :: !edges
+  done;
+  Dag.of_edges ~n:18 !edges
+
+let () =
+  let dag = build_dag () in
+  let n = Dag.size dag in
+  let m = 6 in
+  (* Machine pool with consistent speed ranking (newer/older hardware). *)
+  let rng = Suu_prng.Rng.create ~seed:21 in
+  let q = W.q_matrix W.Product ~m ~n rng in
+  let inst = Instance.make ~name:"build-farm" ~dag q in
+  Printf.printf "workload: %s\n" (Suu_core.Auto.describe inst);
+
+  let blocks = Suu_core.Suu_t.blocks inst in
+  Printf.printf "chain-block decomposition: %d blocks\n"
+    (Array.length blocks);
+  Array.iteri
+    (fun k chains ->
+      let js =
+        List.concat_map (fun c -> Array.to_list c) chains
+        |> List.map string_of_int |> String.concat " "
+      in
+      Printf.printf "  block %d: %d chains (jobs: %s)\n" k
+        (List.length chains) js)
+    blocks;
+  let bound = Suu_core.Lower_bound.combined inst in
+  Printf.printf "certified lower bound on E[T_OPT]: %.1f steps\n\n" bound;
+
+  let table =
+    Table.create ~header:[ "policy"; "E[T]"; "ci95"; "ratio to LB" ]
+  in
+  let measure label policy =
+    let xs = Runner.makespans inst policy ~seed:33 ~reps:20 in
+    let s = Suu_stats.Summary.of_array xs in
+    Table.add_float_row table label
+      [ s.Suu_stats.Summary.mean; s.Suu_stats.Summary.ci95;
+        s.Suu_stats.Summary.mean /. bound ]
+  in
+  measure "SUU-T (this paper)" (Suu_core.Suu_t.policy inst);
+  measure "greedy" (Suu_core.Baselines.greedy_completion inst);
+  measure "round-robin" (Suu_core.Baselines.round_robin inst);
+  Table.print table;
+  print_newline ();
+  print_endline
+    "Every predecessor of a block-k chain lives in a block before k, so\n\
+     running SUU-C block by block never violates a build dependency."

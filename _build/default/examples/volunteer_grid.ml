@@ -1,0 +1,51 @@
+(* Volunteer computing (the paper's SETI@home motivation): a batch of
+   independent work units on a pool of volunteer machines, most of them
+   flaky.  Compares the paper's algorithms against naive strategies on
+   identical random traces.
+
+   Run with: dune exec examples/volunteer_grid.exe *)
+
+module W = Suu_workload.Workload
+module Runner = Suu_sim.Runner
+module Table = Suu_util.Table
+
+let () =
+  let n = 80 and m = 16 in
+  (* 20% of the pool is reliable (q ~ 0.05-0.3 per step); the rest are
+     volunteers that fail 70-99.5% of their steps. *)
+  let inst =
+    W.independent (W.Volunteers { reliable_fraction = 0.2 }) ~n ~m ~seed:7
+  in
+  Printf.printf "workload: %s (%d work units, %d volunteers)\n"
+    (Suu_core.Instance.name inst) n m;
+  let bound = Suu_core.Lower_bound.combined inst in
+  Printf.printf "certified lower bound on E[T_OPT]: %.1f steps\n\n" bound;
+
+  let policies =
+    [
+      ("SUU-I-SEM (this paper)", Suu_core.Suu_i_sem.policy inst);
+      ("SUU-I-OBL (O(log n))", Suu_core.Suu_i_obl.policy inst);
+      ("greedy", Suu_core.Baselines.greedy_completion inst);
+      ("round-robin", Suu_core.Baselines.round_robin inst);
+      ("serial", Suu_core.Baselines.serial inst);
+    ]
+  in
+  let table =
+    Table.create ~header:[ "policy"; "E[T]"; "ci95"; "ratio to LB" ]
+  in
+  List.iter
+    (fun (label, policy) ->
+      let xs = Runner.makespans inst policy ~seed:99 ~reps:20 in
+      let s = Suu_stats.Summary.of_array xs in
+      Table.add_float_row table label
+        [ s.Suu_stats.Summary.mean; s.Suu_stats.Summary.ci95;
+          s.Suu_stats.Summary.mean /. bound ])
+    policies;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "All policies saw the same 20 random traces (paired comparison).";
+  print_endline
+    "The LP-based schedules replicate work units across volunteers in\n\
+     proportion to their reliability; the naive baselines either spread\n\
+     uniformly (round-robin) or not at all (serial)."

@@ -1,0 +1,1 @@
+lib/core/auto.ml: Baselines Instance Policy Printf Suu_c Suu_dag Suu_i_sem Suu_t

@@ -1,0 +1,1 @@
+lib/core/auto.mli: Instance Policy Solver_choice

@@ -1,0 +1,1 @@
+lib/core/exact_dp.ml: Array Float Hashtbl Instance List Policy Printf Suu_dag

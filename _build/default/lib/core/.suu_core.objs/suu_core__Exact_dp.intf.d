@@ -1,0 +1,1 @@
+lib/core/exact_dp.mli: Instance Policy

@@ -1,0 +1,1 @@
+lib/core/instance_io.ml: Array Buffer Fun Instance List Printf String Suu_dag

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Float Instance List Lp1 Solver_choice Suu_dag

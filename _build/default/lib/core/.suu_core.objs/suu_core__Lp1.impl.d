@@ -1,0 +1,1 @@
+lib/core/lp1.ml: Array Float Hashtbl Instance Solver_choice Suu_lp

@@ -1,0 +1,1 @@
+lib/core/lp1.mli: Instance Solver_choice

@@ -1,0 +1,1 @@
+lib/core/lp2.ml: Array Float Fun Hashtbl Instance List Mathx Rounding Suu_lp

@@ -1,0 +1,1 @@
+lib/core/lp2.mli: Assignment Instance Suu_dag

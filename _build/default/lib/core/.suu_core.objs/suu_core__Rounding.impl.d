@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Array Assignment Hashtbl Instance List Mathx Printf Suu_flow

@@ -1,0 +1,1 @@
+lib/core/solver_choice.ml:

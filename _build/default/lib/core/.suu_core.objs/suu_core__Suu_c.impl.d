@@ -1,0 +1,1 @@
+lib/core/suu_c.ml: Array Assignment Instance List Lp2 Mathx Policy Suu_dag Suu_i_sem Suu_prng

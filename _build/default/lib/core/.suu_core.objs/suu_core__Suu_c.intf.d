@@ -1,0 +1,1 @@
+lib/core/suu_c.mli: Assignment Instance Policy Solver_choice Suu_dag

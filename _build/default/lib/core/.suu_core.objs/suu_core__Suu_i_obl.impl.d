@@ -1,0 +1,1 @@
+lib/core/suu_i_obl.ml: Array Instance Lp1 Oblivious Policy Rounding

@@ -1,0 +1,1 @@
+lib/core/suu_i_obl.mli: Instance Oblivious Policy Solver_choice

@@ -1,0 +1,1 @@
+lib/core/suu_i_sem.ml: Array Instance List Lp1 Mathx Oblivious Policy Rounding

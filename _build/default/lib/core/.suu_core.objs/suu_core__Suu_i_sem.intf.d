@@ -1,0 +1,1 @@
+lib/core/suu_i_sem.mli: Instance Policy Solver_choice

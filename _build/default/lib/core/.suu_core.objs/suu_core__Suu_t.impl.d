@@ -1,0 +1,1 @@
+lib/core/suu_t.ml: Array Instance List Policy Suu_c Suu_dag

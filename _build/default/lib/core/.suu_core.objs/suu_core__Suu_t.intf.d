@@ -1,0 +1,1 @@
+lib/core/suu_t.mli: Instance Policy Solver_choice

@@ -1,0 +1,84 @@
+type t = { xm : int array array; nm : int; nn : int }
+
+let make x =
+  let nm = Array.length x in
+  if nm = 0 then invalid_arg "Assignment.make: no machines";
+  let nn = Array.length x.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> nn then invalid_arg "Assignment.make: ragged";
+      Array.iter
+        (fun v -> if v < 0 then invalid_arg "Assignment.make: negative")
+        row)
+    x;
+  { xm = Array.map Array.copy x; nm; nn }
+
+let zero ~m ~n =
+  if m <= 0 || n <= 0 then invalid_arg "Assignment.zero: empty";
+  { xm = Array.make_matrix m n 0; nm = m; nn = n }
+
+let m t = t.nm
+let n t = t.nn
+let get t i j = t.xm.(i).(j)
+
+let set t i j v =
+  if v < 0 then invalid_arg "Assignment.set: negative";
+  t.xm.(i).(j) <- v
+
+let machine_load t i = Array.fold_left ( + ) 0 t.xm.(i)
+
+let load t =
+  let best = ref 0 in
+  for i = 0 to t.nm - 1 do
+    let l = machine_load t i in
+    if l > !best then best := l
+  done;
+  !best
+
+let job_length t j =
+  let best = ref 0 in
+  for i = 0 to t.nm - 1 do
+    if t.xm.(i).(j) > !best then best := t.xm.(i).(j)
+  done;
+  !best
+
+let job_steps t j =
+  let acc = ref 0 in
+  for i = 0 to t.nm - 1 do
+    acc := !acc + t.xm.(i).(j)
+  done;
+  !acc
+
+let log_mass inst t j =
+  let acc = ref 0.0 in
+  for i = 0 to t.nm - 1 do
+    if t.xm.(i).(j) > 0 then
+      acc :=
+        !acc +. (float_of_int t.xm.(i).(j) *. Instance.log_failure inst i j)
+  done;
+  !acc
+
+let clipped_log_mass inst ~target t j =
+  let acc = ref 0.0 in
+  for i = 0 to t.nm - 1 do
+    if t.xm.(i).(j) > 0 then
+      acc :=
+        !acc
+        +. float_of_int t.xm.(i).(j)
+           *. Instance.clipped_log_failure inst ~target i j
+  done;
+  !acc
+
+let machines_of_job t j =
+  let acc = ref [] in
+  for i = t.nm - 1 downto 0 do
+    if t.xm.(i).(j) > 0 then acc := (i, t.xm.(i).(j)) :: !acc
+  done;
+  !acc
+
+let total_steps t =
+  let acc = ref 0 in
+  for i = 0 to t.nm - 1 do
+    acc := !acc + machine_load t i
+  done;
+  !acc

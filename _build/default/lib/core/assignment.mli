@@ -1,0 +1,51 @@
+(** Integral assignments of machine-steps to jobs.
+
+    An assignment [{x_ij}] records how many unit steps machine [i] devotes
+    to job [j] — the object produced by the LP roundings (Lemmas 2 and 6)
+    and consumed by the oblivious schedules.  The paper's vocabulary:
+    the {e load} of machine [i] is [sum_j x_ij]; the {e length} of job [j]
+    is [d_j = max_i x_ij]. *)
+
+type t
+
+val make : int array array -> t
+(** [make x] wraps the [m x n] matrix [x] (copied).  Raises
+    [Invalid_argument] on negative entries or a ragged matrix. *)
+
+val zero : m:int -> n:int -> t
+
+val m : t -> int
+val n : t -> int
+
+val get : t -> int -> int -> int
+(** [get t i j] is [x_ij]. *)
+
+val set : t -> int -> int -> int -> unit
+(** [set t i j v] updates [x_ij <- v] ([v >= 0]). *)
+
+val machine_load : t -> int -> int
+(** [machine_load t i] is [sum_j x_ij]. *)
+
+val load : t -> int
+(** [load t] is the maximum machine load (0 for an all-zero assignment). *)
+
+val job_length : t -> int -> int
+(** [job_length t j] is [d_j = max_i x_ij]. *)
+
+val job_steps : t -> int -> int
+(** [job_steps t j] is [sum_i x_ij], the total machine-steps given to
+    [j]. *)
+
+val log_mass : Instance.t -> t -> int -> float
+(** [log_mass inst t j] is [sum_i l_ij * x_ij], the log mass the
+    assignment accrues on [j] per full execution. *)
+
+val clipped_log_mass : Instance.t -> target:float -> t -> int -> float
+(** Same with the clipped coefficients [l'_ij = min l_ij target]. *)
+
+val machines_of_job : t -> int -> (int * int) list
+(** [machines_of_job t j] lists [(i, x_ij)] for machines with
+    [x_ij > 0]. *)
+
+val total_steps : t -> int
+(** Sum of all entries. *)

@@ -1,0 +1,14 @@
+let policy ?solver inst =
+  match Suu_dag.Classify.classify (Instance.dag inst) with
+  | Suu_dag.Classify.Independent -> Suu_i_sem.policy ?solver inst
+  | Suu_dag.Classify.Disjoint_chains _ -> Suu_c.policy ?solver inst
+  | Suu_dag.Classify.Directed_forest _ -> Suu_t.policy ?solver inst
+  | Suu_dag.Classify.General ->
+      let base = Baselines.greedy_completion inst in
+      Policy.make ~name:"greedy(general-dag)" ~fresh:(Policy.fresh base)
+
+let describe inst =
+  Printf.sprintf "%s: n=%d m=%d, %s" (Instance.name inst) (Instance.n inst)
+    (Instance.m inst)
+    (Suu_dag.Classify.describe
+       (Suu_dag.Classify.classify (Instance.dag inst)))

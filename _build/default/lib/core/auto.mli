@@ -1,0 +1,11 @@
+(** One-call frontend: classify the precedence dag and dispatch the
+    matching algorithm from the paper. *)
+
+val policy : ?solver:Solver_choice.t -> Instance.t -> Policy.t
+(** [policy inst] returns SUU-I-SEM for independent jobs, SUU-C for
+    disjoint chains, SUU-T for directed forests, and the greedy baseline
+    (with a warning in the policy name: ["greedy(general-dag)"]) for
+    general dags, for which the paper has no approximation algorithm. *)
+
+val describe : Instance.t -> string
+(** Human-readable classification of the instance. *)

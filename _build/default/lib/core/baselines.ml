@@ -1,0 +1,105 @@
+let active_jobs ~remaining ~eligible =
+  let acc = ref [] in
+  for j = Array.length remaining - 1 downto 0 do
+    if remaining.(j) && eligible.(j) then acc := j :: !acc
+  done;
+  !acc
+
+let greedy_completion inst =
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let survival = Array.make n 1.0 in
+  let buf = Array.make m (-1) in
+  Policy.make ~name:"greedy" ~fresh:(fun _rng ->
+      fun ~time:_ ~remaining ~eligible ->
+        let active = active_jobs ~remaining ~eligible in
+        List.iter (fun j -> survival.(j) <- 1.0) active;
+        for i = 0 to m - 1 do
+          let best = ref (-1) and best_gain = ref 0.0 in
+          List.iter
+            (fun j ->
+              let gain = survival.(j) *. (1.0 -. Instance.q inst i j) in
+              if gain > !best_gain then begin
+                best_gain := gain;
+                best := j
+              end)
+            active;
+          buf.(i) <- !best;
+          if !best >= 0 then
+            survival.(!best) <- survival.(!best) *. Instance.q inst i !best
+        done;
+        buf)
+
+let round_robin inst =
+  let m = Instance.m inst in
+  let buf = Array.make m (-1) in
+  Policy.make ~name:"round-robin" ~fresh:(fun _rng ->
+      fun ~time ~remaining ~eligible ->
+        let active = Array.of_list (active_jobs ~remaining ~eligible) in
+        let e = Array.length active in
+        for i = 0 to m - 1 do
+          buf.(i) <- (if e = 0 then -1 else active.((time + i) mod e))
+        done;
+        buf)
+
+let serial inst =
+  let m = Instance.m inst in
+  let idle = Array.make m (-1) in
+  Policy.make ~name:"serial" ~fresh:(fun _rng ->
+      fun ~time:_ ~remaining ~eligible ->
+        match active_jobs ~remaining ~eligible with
+        | [] -> idle
+        | j :: _ -> Array.make m j)
+
+(* Greedy coverage with a per-machine budget of [t] steps: feed the
+   neediest job with the strongest remaining machine step until every job
+   reaches [target] clipped mass, or budgets run dry. *)
+let greedy_fill inst ~target ~t =
+  let m = Instance.m inst and n = Instance.n inst in
+  let x = Array.make_matrix m n 0 in
+  let mass = Array.make n 0.0 in
+  let budget = Array.make m t in
+  let ell i j = Instance.clipped_log_failure inst ~target i j in
+  let exhausted = ref false in
+  let all_covered () =
+    Array.for_all (fun v -> v >= target -. 1e-12) mass
+  in
+  while (not (all_covered ())) && not !exhausted do
+    (* neediest uncovered job *)
+    let j = ref (-1) in
+    for j' = n - 1 downto 0 do
+      if mass.(j') < target -. 1e-12
+         && (!j = -1 || mass.(j') < mass.(!j))
+      then j := j'
+    done;
+    let i = ref (-1) in
+    for i' = 0 to m - 1 do
+      if budget.(i') > 0 && ell i' !j > 0.0
+         && (!i = -1 || ell i' !j > ell !i !j)
+      then i := i'
+    done;
+    if !i = -1 then exhausted := true
+    else begin
+      x.(!i).(!j) <- x.(!i).(!j) + 1;
+      budget.(!i) <- budget.(!i) - 1;
+      mass.(!j) <- mass.(!j) +. ell !i !j
+    end
+  done;
+  if !exhausted then None else Some (Assignment.make x)
+
+let greedy_oblivious_assignment ?(target = 0.5) inst =
+  let rec search t =
+    match greedy_fill inst ~target ~t with
+    | Some a -> a
+    | None -> search (2 * t)
+  in
+  search 1
+
+let greedy_oblivious ?target inst =
+  let plan =
+    Oblivious.of_assignment (greedy_oblivious_assignment ?target inst)
+  in
+  let h = Oblivious.horizon plan in
+  Policy.make ~name:"greedy-oblivious" ~fresh:(fun _rng ->
+      fun ~time ~remaining:_ ~eligible:_ ->
+        Oblivious.assignment_at plan (time mod h))

@@ -1,0 +1,302 @@
+(* States are bitmasks of *remaining* jobs.  A mask is reachable iff it is
+   closed under successors: an uncompleted job keeps its successors
+   uncompleted. *)
+
+let feasible_mask g n mask =
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    if mask land (1 lsl j) <> 0 then
+      List.iter
+        (fun s -> if mask land (1 lsl s) = 0 then ok := false)
+        (Suu_dag.Dag.succs g j)
+  done;
+  !ok
+
+let eligible_of g mask =
+  let n = Suu_dag.Dag.size g in
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if mask land (1 lsl j) <> 0 then begin
+      let ready =
+        List.for_all (fun p -> mask land (1 lsl p) = 0) (Suu_dag.Dag.preds g j)
+      in
+      if ready then acc := j :: !acc
+    end
+  done;
+  Array.of_list !acc
+
+let estimate_cost inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  if n > 20 then max_int
+  else begin
+    let g = Instance.dag inst in
+    let total = ref 0.0 in
+    for mask = 1 to (1 lsl n) - 1 do
+      if feasible_mask g n mask then begin
+        let e = Array.length (eligible_of g mask) in
+        total :=
+          !total
+          +. (float_of_int e ** float_of_int m) *. Float.pow 2.0 (float_of_int e)
+      end
+    done;
+    if !total > 1e18 then max_int else int_of_float !total
+  end
+
+let solve inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let g = Instance.dag inst in
+  let size = 1 lsl n in
+  let value = Array.make size infinity in
+  let best_assignment = Array.make size [||] in
+  value.(0) <- 0.0;
+  let assign = Array.make m 0 in
+  for mask = 1 to size - 1 do
+    if feasible_mask g n mask then begin
+      let elig = eligible_of g mask in
+      let e = Array.length elig in
+      (* p.(k): probability job elig.(k) survives this step under the
+         current assignment. *)
+      let p = Array.make e 1.0 in
+      let combos = int_of_float (float_of_int e ** float_of_int m) in
+      for c = 0 to combos - 1 do
+        Array.fill p 0 e 1.0;
+        let rest = ref c in
+        for i = 0 to m - 1 do
+          let k = !rest mod e in
+          rest := !rest / e;
+          assign.(i) <- k;
+          p.(k) <- p.(k) *. Instance.q inst i elig.(k)
+        done;
+        (* Expected cost: sum over completion subsets T (as a mask over
+           eligible indices). *)
+        let stay = Array.fold_left ( *. ) 1.0 p in
+        if stay < 1.0 -. 1e-12 then begin
+          let acc = ref 1.0 in
+          for t = 1 to (1 lsl e) - 1 do
+            let prob = ref 1.0 and removed = ref 0 in
+            for k = 0 to e - 1 do
+              if t land (1 lsl k) <> 0 then begin
+                prob := !prob *. (1.0 -. p.(k));
+                removed := !removed lor (1 lsl elig.(k))
+              end
+              else prob := !prob *. p.(k)
+            done;
+            acc := !acc +. (!prob *. value.(mask lxor !removed))
+          done;
+          let v = !acc /. (1.0 -. stay) in
+          if v < value.(mask) then begin
+            value.(mask) <- v;
+            best_assignment.(mask) <- Array.map (fun k -> elig.(k)) assign
+          end
+        end
+      done
+    end
+  done;
+  (value, best_assignment)
+
+let check_budget ?(budget = 20_000_000) inst =
+  let cost = estimate_cost inst in
+  if cost > budget then
+    invalid_arg
+      (Printf.sprintf
+         "Exact_dp: instance too large (estimated cost %d > budget %d)"
+         (if cost = max_int then -1 else cost)
+         budget)
+
+let expected_makespan ?budget inst =
+  check_budget ?budget inst;
+  let value, _ = solve inst in
+  value.((1 lsl Instance.n inst) - 1)
+
+let policy ?budget inst =
+  check_budget ?budget inst;
+  let _, best = solve inst in
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let idle = Array.make m (-1) in
+  Policy.make ~name:"exact-opt" ~fresh:(fun _rng ->
+      fun ~time:_ ~remaining ~eligible:_ ->
+        let mask = ref 0 in
+        for j = 0 to n - 1 do
+          if remaining.(j) then mask := !mask lor (1 lsl j)
+        done;
+        if !mask = 0 then idle else best.(!mask))
+
+(* Chain-structured instances: a state is the number of remaining jobs in
+   each chain (the dag's width bounds the eligible set by the number of
+   chains), so the state space is the product of chain lengths + 1. *)
+
+let chains_expected_makespan ?(budget = 20_000_000) inst =
+  let chains =
+    match Suu_dag.Chains.of_dag (Instance.dag inst) with
+    | Some c -> Array.of_list c
+    | None ->
+        invalid_arg "Exact_dp.chains_expected_makespan: not disjoint chains"
+  in
+  let z = Array.length chains in
+  let m = Instance.m inst in
+  let states =
+    Array.fold_left
+      (fun acc c -> acc *. float_of_int (Array.length c + 1))
+      1.0 chains
+  in
+  let per_state =
+    (float_of_int z ** float_of_int m) *. Float.pow 2.0 (float_of_int z)
+  in
+  if states *. per_state > float_of_int budget then
+    invalid_arg
+      (Printf.sprintf
+         "Exact_dp.chains_expected_makespan: estimated cost %.3g > budget %d"
+         (states *. per_state) budget);
+  (* Encode a remaining-count vector in mixed radix. *)
+  let radix = Array.map (fun c -> Array.length c + 1) chains in
+  let encode counts =
+    let acc = ref 0 in
+    for c = 0 to z - 1 do
+      acc := (!acc * radix.(c)) + counts.(c)
+    done;
+    !acc
+  in
+  let memo = Hashtbl.create 1024 in
+  let counts0 = Array.map Array.length chains in
+  let assign = Array.make m 0 in
+  let rec value counts =
+    let key = encode counts in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let active =
+          Array.to_list
+            (Array.mapi (fun c left -> (c, left)) counts)
+          |> List.filter (fun (_, left) -> left > 0)
+          |> List.map fst |> Array.of_list
+        in
+        let v =
+          if Array.length active = 0 then 0.0
+          else begin
+            let e = Array.length active in
+            (* Current (eligible) job of active chain index k. *)
+            let job k =
+              let c = active.(k) in
+              chains.(c).(Array.length chains.(c) - counts.(c))
+            in
+            let p = Array.make e 1.0 in
+            let combos =
+              int_of_float (float_of_int e ** float_of_int m)
+            in
+            let best = ref infinity in
+            for combo = 0 to combos - 1 do
+              Array.fill p 0 e 1.0;
+              let rest = ref combo in
+              for i = 0 to m - 1 do
+                let k = !rest mod e in
+                rest := !rest / e;
+                assign.(i) <- k;
+                p.(k) <- p.(k) *. Instance.q inst i (job k)
+              done;
+              let stay = Array.fold_left ( *. ) 1.0 p in
+              if stay < 1.0 -. 1e-12 then begin
+                let acc = ref 1.0 in
+                for t = 1 to (1 lsl e) - 1 do
+                  let prob = ref 1.0 in
+                  let next = Array.copy counts in
+                  for k = 0 to e - 1 do
+                    if t land (1 lsl k) <> 0 then begin
+                      prob := !prob *. (1.0 -. p.(k));
+                      next.(active.(k)) <- next.(active.(k)) - 1
+                    end
+                    else prob := !prob *. p.(k)
+                  done;
+                  if !prob > 0.0 then acc := !acc +. (!prob *. value next)
+                done;
+                let total = !acc /. (1.0 -. stay) in
+                if total < !best then best := total
+              end
+            done;
+            !best
+          end
+        in
+        Hashtbl.replace memo key v;
+        v
+  in
+  value counts0
+
+(* General dags, top-down: memoized recursion visits only the remaining
+   sets reachable from the full set (the order filters of the poset),
+   which for width-w dags number at most n^w — Malewicz's tractable
+   regime without the chain restriction. *)
+
+let ideal_expected_makespan ?(budget = 20_000_000) inst =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if n > 62 then
+    invalid_arg "Exact_dp.ideal_expected_makespan: more than 62 jobs";
+  let g = Instance.dag inst in
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let work = ref 0 in
+  let charge amount =
+    work := !work + amount;
+    if !work > budget then
+      invalid_arg
+        (Printf.sprintf
+           "Exact_dp.ideal_expected_makespan: budget %d exceeded" budget)
+  in
+  let eligible_of mask =
+    let acc = ref [] in
+    for j = n - 1 downto 0 do
+      if mask land (1 lsl j) <> 0 then begin
+        let ready =
+          List.for_all
+            (fun p -> mask land (1 lsl p) = 0)
+            (Suu_dag.Dag.preds g j)
+        in
+        if ready then acc := j :: !acc
+      end
+    done;
+    Array.of_list !acc
+  in
+  let assign = Array.make m 0 in
+  let rec value mask =
+    if mask = 0 then 0.0
+    else
+      match Hashtbl.find_opt memo mask with
+      | Some v -> v
+      | None ->
+          let elig = eligible_of mask in
+          let e = Array.length elig in
+          let combos = int_of_float (float_of_int e ** float_of_int m) in
+          charge (combos * (1 lsl e));
+          let p = Array.make e 1.0 in
+          let best = ref infinity in
+          for combo = 0 to combos - 1 do
+            Array.fill p 0 e 1.0;
+            let rest = ref combo in
+            for i = 0 to m - 1 do
+              let k = !rest mod e in
+              rest := !rest / e;
+              assign.(i) <- k;
+              p.(k) <- p.(k) *. Instance.q inst i elig.(k)
+            done;
+            let stay = Array.fold_left ( *. ) 1.0 p in
+            if stay < 1.0 -. 1e-12 then begin
+              let acc = ref 1.0 in
+              for t = 1 to (1 lsl e) - 1 do
+                let prob = ref 1.0 and removed = ref 0 in
+                for k = 0 to e - 1 do
+                  if t land (1 lsl k) <> 0 then begin
+                    prob := !prob *. (1.0 -. p.(k));
+                    removed := !removed lor (1 lsl elig.(k))
+                  end
+                  else prob := !prob *. p.(k)
+                done;
+                if !prob > 0.0 then
+                  acc := !acc +. (!prob *. value (mask lxor !removed))
+              done;
+              let total = !acc /. (1.0 -. stay) in
+              if total < !best then best := total
+            end
+          done;
+          Hashtbl.replace memo mask !best;
+          !best
+  in
+  value ((1 lsl n) - 1)

@@ -1,0 +1,47 @@
+(** Exact optimal schedules for tiny instances.
+
+    The set of remaining jobs is a sufficient state for the SUU Markov
+    decision process, so the minimum expected makespan satisfies, over
+    assignments [a] of machines to eligible jobs,
+
+    {v
+      E[S] = min_a ( 1 + sum_{∅ ≠ T ⊆ elig(S)} Pr_a[T completes] E[S \ T] )
+                   / ( 1 - Pr_a[nothing completes] )
+    v}
+
+    solved bottom-up over the subset lattice.  Assignments never idle a
+    machine (extra mass can only help — completion events are monotone),
+    so the enumeration is [e^m] per state with [e] eligible jobs.  This is
+    Malewicz's observation that constant machines + constant width is
+    polynomial; we use it to measure the true approximation ratios of the
+    polynomial-time schedules on small instances (experiment E4). *)
+
+val expected_makespan : ?budget:int -> Instance.t -> float
+(** [expected_makespan inst] is [E[T_OPT]].  Raises [Invalid_argument]
+    when the estimated state-enumeration cost exceeds [budget] elementary
+    evaluations (default [20_000_000]). *)
+
+val policy : ?budget:int -> Instance.t -> Policy.t
+(** [policy inst] plays the optimal assignment in every state (computed
+    once, at creation). *)
+
+val ideal_expected_makespan : ?budget:int -> Instance.t -> float
+(** [ideal_expected_makespan inst] is [E[T_OPT]] for an arbitrary dag,
+    computed top-down over the *reachable* remaining-sets only (the order
+    filters of the precedence poset).  This realizes Malewicz's theorem —
+    constant machines and constant dag width give polynomial time — for
+    general dags: a width-[w] poset has at most [n^w] filters, versus the
+    [2^n] masks the bottom-up {!expected_makespan} scans.  Raises
+    [Invalid_argument] when the number of visited states times the
+    per-state work exceeds [budget] (default [20_000_000]); the job count
+    must be at most 62 (mask encoding). *)
+
+val chains_expected_makespan : ?budget:int -> Instance.t -> float
+(** [chains_expected_makespan inst] is [E[T_OPT]] for disjoint-chain
+    precedence constraints, exploiting Malewicz's bounded-width
+    observation: the reachable states are the per-chain positions — a
+    product of chain lengths rather than [2^n] — so instances far beyond
+    {!expected_makespan}'s reach are exact (e.g. 3 chains of 8 jobs on 2
+    machines).  Raises [Invalid_argument] when the dag is not disjoint
+    chains or the estimated cost exceeds [budget] (default
+    [20_000_000]). *)

@@ -1,0 +1,98 @@
+let to_string inst =
+  let m = Instance.m inst and n = Instance.n inst in
+  let buf = Buffer.create (64 + (m * n * 12)) in
+  Buffer.add_string buf "suu-instance v1\n";
+  Buffer.add_string buf ("name " ^ Instance.name inst ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" m);
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" n);
+  Buffer.add_string buf "q\n";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      if j > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%.17g" (Instance.q inst i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  let edges = Suu_dag.Dag.edges (Instance.dag inst) in
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (List.length edges));
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" a b))
+    edges;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* A tiny line cursor with located error messages. *)
+type cursor = { lines : string array; mutable pos : int }
+
+let fail cur msg =
+  failwith (Printf.sprintf "Instance_io: line %d: %s" (cur.pos + 1) msg)
+
+let next cur =
+  if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input";
+  let l = String.trim cur.lines.(cur.pos) in
+  cur.pos <- cur.pos + 1;
+  l
+
+let expect_prefix cur prefix =
+  let l = next cur in
+  if not (String.length l >= String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix)
+  then fail cur (Printf.sprintf "expected %S" prefix);
+  String.trim
+    (String.sub l (String.length prefix)
+       (String.length l - String.length prefix))
+
+let parse_int cur s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail cur (Printf.sprintf "expected an integer, got %S" s)
+
+let of_string text =
+  let cur = { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 } in
+  let header = next cur in
+  if header <> "suu-instance v1" then
+    failwith "Instance_io: not a suu-instance v1 file";
+  let name = expect_prefix cur "name" in
+  let m = parse_int cur (expect_prefix cur "machines") in
+  let n = parse_int cur (expect_prefix cur "jobs") in
+  if m <= 0 || n <= 0 then failwith "Instance_io: non-positive dimensions";
+  let (_ : string) = expect_prefix cur "q" in
+  let q =
+    Array.init m (fun _ ->
+        let row = next cur in
+        let cells =
+          String.split_on_char ' ' row |> List.filter (fun s -> s <> "")
+        in
+        if List.length cells <> n then fail cur "wrong number of q entries";
+        Array.of_list
+          (List.map
+             (fun s ->
+               match float_of_string_opt s with
+               | Some v -> v
+               | None -> fail cur (Printf.sprintf "bad float %S" s))
+             cells))
+  in
+  let k = parse_int cur (expect_prefix cur "edges") in
+  if k < 0 then failwith "Instance_io: negative edge count";
+  let edges =
+    List.init k (fun _ ->
+        let l = next cur in
+        match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+        | [ a; b ] -> (parse_int cur a, parse_int cur b)
+        | _ -> fail cur "expected two node indices")
+  in
+  let final = next cur in
+  if final <> "end" then failwith "Instance_io: missing trailing 'end'";
+  Instance.make ~name ~dag:(Suu_dag.Dag.of_edges ~n edges) q
+
+let save_file path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

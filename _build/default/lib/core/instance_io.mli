@@ -1,0 +1,28 @@
+(** Plain-text (de)serialization of SUU instances.
+
+    A small line-oriented format so instances can be saved from one tool
+    run and replayed in another (see the [suu] CLI's [--save]/[--load]):
+
+    {v
+    suu-instance v1
+    name <one-line name>
+    machines <m>
+    jobs <n>
+    q
+    <m lines of n failure probabilities>
+    edges <count>
+    <pred> <succ>        (one line per precedence edge)
+    end
+    v}
+
+    Floats are printed with full round-trip precision ([%.17g]). *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input, or
+    [Invalid_argument] if the parsed data violates instance invariants
+    (via {!Instance.make} / {!Suu_dag.Dag.of_edges}). *)
+
+val save_file : string -> Instance.t -> unit
+val load_file : string -> Instance.t

@@ -1,0 +1,55 @@
+let lp1_half ?(solver = Solver_choice.default) inst =
+  let jobs = Array.init (Instance.n inst) (fun j -> j) in
+  let { Lp1.value; _ } = Lp1.solve ~solver inst ~jobs ~target:0.5 in
+  value /. 2.0 /. Solver_choice.guarantee solver
+
+(* Expected minimum wall-time for job j with every machine ganged on it:
+   per-step failure is the product of all q_ij, so
+   E[ceil(w / sum_i l_ij)] = 1 / (1 - prod_i q_ij). *)
+let solo_expected_steps inst j =
+  let gang = ref 1.0 in
+  for i = 0 to Instance.m inst - 1 do
+    gang := !gang *. Instance.q inst i j
+  done;
+  1.0 /. (1.0 -. !gang)
+
+let critical_path inst =
+  let g = Instance.dag inst in
+  let order = Suu_dag.Dag.topological_order g in
+  let n = Instance.n inst in
+  let best = Array.make n 0.0 in
+  let answer = ref 0.0 in
+  Array.iter
+    (fun j ->
+      let upstream =
+        List.fold_left
+          (fun acc p -> Float.max acc best.(p))
+          0.0
+          (Suu_dag.Dag.preds g j)
+      in
+      best.(j) <- upstream +. solo_expected_steps inst j;
+      if best.(j) > !answer then answer := best.(j))
+    order;
+  !answer
+
+let work inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let expected_w = 1.0 /. log 2.0 in
+  let acc = ref 0.0 in
+  for j = 0 to n - 1 do
+    let lbest =
+      Instance.log_failure inst (Instance.best_machine inst j) j
+    in
+    let steps =
+      if Float.is_finite lbest && lbest > 0.0 then
+        Float.max 1.0 (expected_w /. lbest)
+      else 1.0
+    in
+    acc := !acc +. steps
+  done;
+  !acc /. float_of_int m
+
+let combined ?solver inst =
+  Float.max 1.0
+    (Float.max (lp1_half ?solver inst)
+       (Float.max (critical_path inst) (work inst)))

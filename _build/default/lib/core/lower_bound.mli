@@ -1,0 +1,28 @@
+(** Provable lower bounds on [E[T_OPT]].
+
+    [E[T_OPT]] is not computable for interesting sizes, so the experiments
+    normalize measured makespans by certified lower bounds; a measured
+    ratio then upper-bounds the true approximation ratio, and its growth
+    in [n] and [m] is exactly the quantity Table 1 talks about. *)
+
+val lp1_half : ?solver:Solver_choice.t -> Instance.t -> float
+(** [lp1_half inst] is [t_LP1(J, 1/2) / 2 <= E[T_OPT]]: the paper's
+    Lemma 1 shows [E[T_OPT] >= LP1(J, 1/2) / 2] — valid with or without
+    precedence constraints, since (LP1) ignores ordering.  When solved
+    with an approximate backend the value is further divided by the
+    backend's guarantee so it remains a true lower bound. *)
+
+val critical_path : Instance.t -> float
+(** [critical_path inst] is the heaviest directed path in the dag under
+    weights [1 / (1 - prod_i q_ij)]: jobs on a path run sequentially, and
+    even with every machine ganged on job [j] its per-step failure
+    probability is [prod_i q_ij], so it needs
+    [E[ceil(w_j / sum_i l_ij)] = 1 / (1 - prod_i q_ij)] expected steps. *)
+
+val work : Instance.t -> float
+(** [work inst] is [sum_j max(1, E[w] / lbest_j) / m]: every job [j] costs
+    at least [max(1, w_j / lbest_j)] machine-steps, [E[w_j] = 1 / ln 2],
+    and [m] machine-steps fit in a unit of time. *)
+
+val combined : ?solver:Solver_choice.t -> Instance.t -> float
+(** The max of the three bounds (at least 1). *)

@@ -1,0 +1,77 @@
+type frac = { x : float array array; value : float }
+
+let validate inst ~jobs ~target =
+  if Array.length jobs = 0 then invalid_arg "Lp1.solve: no jobs";
+  if target <= 0.0 then invalid_arg "Lp1.solve: target must be positive";
+  let n = Instance.n inst in
+  let seen = Array.make n false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n then invalid_arg "Lp1.solve: job out of range";
+      if seen.(j) then invalid_arg "Lp1.solve: duplicate job";
+      seen.(j) <- true)
+    jobs
+
+let solve_simplex inst ~jobs ~target =
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let p = Suu_lp.Problem.create ~name:"lp1" () in
+  let t_var = Suu_lp.Problem.add_var ~obj:1.0 p in
+  (* Variables only for pairs with positive clipped log failure. *)
+  let var = Hashtbl.create (m * Array.length jobs) in
+  Array.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        if Instance.clipped_log_failure inst ~target i j > 0.0 then
+          Hashtbl.add var (i, j) (Suu_lp.Problem.add_var p)
+      done)
+    jobs;
+  Array.iter
+    (fun j ->
+      let terms = ref [] in
+      for i = 0 to m - 1 do
+        match Hashtbl.find_opt var (i, j) with
+        | Some v ->
+            terms :=
+              (v, Instance.clipped_log_failure inst ~target i j) :: !terms
+        | None -> ()
+      done;
+      Suu_lp.Problem.add_constraint p !terms Suu_lp.Problem.Ge target)
+    jobs;
+  for i = 0 to m - 1 do
+    let terms = ref [ (t_var, -1.0) ] in
+    Array.iter
+      (fun j ->
+        match Hashtbl.find_opt var (i, j) with
+        | Some v -> terms := (v, 1.0) :: !terms
+        | None -> ())
+      jobs;
+    Suu_lp.Problem.add_constraint p !terms Suu_lp.Problem.Le 0.0
+  done;
+  let value, sol = Suu_lp.Simplex.solve_exn p in
+  let x = Array.make_matrix m n 0.0 in
+  Hashtbl.iter (fun (i, j) v -> x.(i).(j) <- Float.max 0.0 sol.(v)) var;
+  { x; value }
+
+let solve_mwu inst ~jobs ~target ~eps =
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let k = Array.length jobs in
+  let a i jj = Instance.clipped_log_failure inst ~target i jobs.(jj) in
+  let { Suu_lp.Mwu.x = xk; value } =
+    Suu_lp.Mwu.min_load_cover ~a ~m ~n:k
+      ~targets:(Array.make k target) ~eps
+  in
+  let x = Array.make_matrix m n 0.0 in
+  for i = 0 to m - 1 do
+    for jj = 0 to k - 1 do
+      x.(i).(jobs.(jj)) <- xk.(i).(jj)
+    done
+  done;
+  { x; value }
+
+let solve ?(solver = Solver_choice.default) inst ~jobs ~target =
+  validate inst ~jobs ~target;
+  match solver with
+  | Solver_choice.Simplex -> solve_simplex inst ~jobs ~target
+  | Solver_choice.Mwu eps -> solve_mwu inst ~jobs ~target ~eps

@@ -1,0 +1,30 @@
+(** The paper's (LP1) relaxation (Section 3).
+
+    For a job subset [J'] and log-mass target [L]:
+
+    {v
+      minimize   t
+      subject to sum_i l'_ij x_ij >= L   for j in J'     (coverage)
+                 sum_j x_ij       <= t   for every i      (load)
+                 x_ij >= 0
+    v}
+
+    with clipped coefficients [l'_ij = min(l_ij, L)] — clipping loses
+    nothing for integral solutions (Lemma 2) and bounds the LP's width.
+    The integrality constraint of the original integer program is dropped
+    here and recovered by {!Rounding}. *)
+
+type frac = {
+  x : float array array;  (** fractional assignment, [m x n] *)
+  value : float;  (** the optimal (or near-optimal) load [t] *)
+}
+
+val solve :
+  ?solver:Solver_choice.t -> Instance.t -> jobs:int array -> target:float ->
+  frac
+(** [solve inst ~jobs ~target] solves the relaxation restricted to [jobs].
+    Entries of [x] outside [jobs] are zero.  Raises [Invalid_argument] on
+    an empty [jobs] array, a non-positive [target], or duplicate jobs;
+    [Failure] if the LP solver fails (cannot happen on well-formed
+    instances: assigning every machine to every job long enough is always
+    feasible). *)

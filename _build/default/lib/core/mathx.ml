@@ -1,0 +1,18 @@
+let log2 x = log x /. log 2.0
+
+let ceil_log2 x =
+  if x < 1 then invalid_arg "Mathx.ceil_log2: x must be >= 1";
+  let rec go acc pow = if pow >= x then acc else go (acc + 1) (2 * pow) in
+  go 0 1
+
+let rounds_k ~n ~m =
+  let s = min n m in
+  let loglog = if s < 2 then 0.0 else log2 (Float.max 1.0 (log2 (float_of_int s))) in
+  max 4 (int_of_float (ceil loglog) + 3)
+
+let target_for_round k =
+  if k < 1 then invalid_arg "Mathx.target_for_round: k must be >= 1";
+  Float.pow 2.0 (float_of_int (k - 2))
+
+let floor_pos x = max 0 (int_of_float (floor (x +. 1e-9)))
+let ceil_pos x = max 0 (int_of_float (ceil (x -. 1e-9)))

@@ -1,0 +1,25 @@
+(** Small numeric helpers shared across the SUU algorithms. *)
+
+val log2 : float -> float
+(** Base-2 logarithm (the paper's [log] is always base 2). *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 x] is [ceil (log2 x)] for [x >= 1]; raises
+    [Invalid_argument] otherwise. *)
+
+val rounds_k : n:int -> m:int -> int
+(** [rounds_k ~n ~m] is the paper's [K = ceil(log log min(m, n)) + 3]
+    round count for SUU-I-SEM, clamped to at least 4 so degenerate
+    instances still run their tail phase. *)
+
+val target_for_round : int -> float
+(** [target_for_round k] is the round-[k] log-mass target
+    [L_k = 2^(k-2)] (so [L_1 = 1/2]), for [k >= 1]. *)
+
+val floor_pos : float -> int
+(** [floor_pos x] is [floor (x + 1e-9)] as an int, clamped to be
+    nonnegative — the ⌊·⌋ of Lemma 2 guarded against roundoff. *)
+
+val ceil_pos : float -> int
+(** [ceil_pos x] is [ceil (x - 1e-9)] as an int, clamped to be
+    nonnegative — the ⌈·⌉ of Lemma 2 guarded against roundoff. *)

@@ -1,0 +1,25 @@
+type t = { plan : int array array (* horizon x m *); nm : int }
+
+let of_assignment a =
+  let m = Assignment.m a in
+  let n = Assignment.n a in
+  let horizon = max 1 (Assignment.load a) in
+  let plan = Array.make_matrix horizon m (-1) in
+  for i = 0 to m - 1 do
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      for _ = 1 to Assignment.get a i j do
+        plan.(!k).(i) <- j;
+        incr k
+      done
+    done
+  done;
+  { plan; nm = m }
+
+let horizon t = Array.length t.plan
+let machines t = t.nm
+
+let assignment_at t k =
+  if k < 0 || k >= Array.length t.plan then
+    invalid_arg "Oblivious.assignment_at: step out of range";
+  t.plan.(k)

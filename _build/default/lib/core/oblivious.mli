@@ -1,0 +1,25 @@
+(** Finite oblivious schedules (paper Section 2).
+
+    An oblivious schedule assigns machines to jobs as a function of time
+    only.  {!of_assignment} serializes an integral assignment [{x_ij}]
+    machine by machine — machine [i] runs each of its jobs [j] for [x_ij]
+    consecutive steps, jobs in index order — producing a plan of length
+    equal to the assignment's load, exactly the schedule
+    [Sigma_LP1(J', L)] of the paper. *)
+
+type t
+
+val of_assignment : Assignment.t -> t
+(** [of_assignment a] serializes [a].  The plan's horizon is [load a]
+    (at least 1: an all-zero assignment yields a single all-idle step so
+    repetition loops still make progress through time). *)
+
+val horizon : t -> int
+(** Number of steps in the plan. *)
+
+val machines : t -> int
+
+val assignment_at : t -> int -> int array
+(** [assignment_at t k] is the machine → job map at step [k]
+    ([0 <= k < horizon]); [-1] marks an idle machine.  The returned array
+    is shared — callers must not mutate it. *)

@@ -1,0 +1,8 @@
+type stepper =
+  time:int -> remaining:bool array -> eligible:bool array -> int array
+
+type t = { pname : string; pfresh : Suu_prng.Rng.t -> stepper }
+
+let make ~name ~fresh = { pname = name; pfresh = fresh }
+let name t = t.pname
+let fresh t rng = t.pfresh rng

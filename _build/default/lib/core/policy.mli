@@ -1,0 +1,31 @@
+(** Scheduling policies: the interface between the paper's algorithms and
+    the simulator.
+
+    A policy is the paper's schedule [Sigma]: a (possibly adaptive) rule
+    that, given what has happened so far, assigns machines to jobs for the
+    next unit step.  The simulator drives a fresh {!stepper} per
+    execution; the stepper sees only the sets of remaining and eligible
+    jobs — never the hidden SUU* thresholds — exactly like the paper's
+    history-based schedules. *)
+
+type stepper = time:int -> remaining:bool array -> eligible:bool array -> int array
+(** [step ~time ~remaining ~eligible] returns the machine → job assignment
+    for step [time] (0-based): entry [i] is the job run by machine [i], or
+    [-1] to idle.  Assigning a completed job is allowed (the machine
+    idles, as in the paper); assigning an ineligible, uncompleted job is a
+    policy bug and rejected by the engine.  The returned array is read
+    immediately and never retained, so policies may reuse a buffer.
+    [remaining] and [eligible] are owned by the engine: treat as
+    read-only. *)
+
+type t
+
+val make : name:string -> fresh:(Suu_prng.Rng.t -> stepper) -> t
+(** [make ~name ~fresh] wraps a policy.  [fresh rng] must return the
+    stepper for one independent execution; [rng] is the execution's
+    private randomness (for random delays etc.). *)
+
+val name : t -> string
+
+val fresh : t -> Suu_prng.Rng.t -> stepper
+(** Start a new execution. *)

@@ -1,0 +1,89 @@
+let round ?job_cap inst ~jobs ~target ~frac ~frac_value =
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let ell' i j = Instance.clipped_log_failure inst ~target i j in
+  let group_of i j =
+    (* floor(log2 l'_ij); l' > 0 guaranteed by the support we build. *)
+    int_of_float (floor (Mathx.log2 (ell' i j) +. 1e-12))
+  in
+  (* Pool fractional assignment per (job, group). *)
+  let pooled : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        if frac.(i).(j) > 1e-12 && ell' i j > 0.0 then begin
+          let key = (j, group_of i j) in
+          let prev = try Hashtbl.find pooled key with Not_found -> 0.0 in
+          Hashtbl.replace pooled key (prev +. frac.(i).(j))
+        end
+      done)
+    jobs;
+  (* Keep only groups with a positive rounded capacity. *)
+  let groups =
+    Hashtbl.fold
+      (fun key d acc ->
+        let cap = Mathx.floor_pos (6.0 *. d) in
+        if cap > 0 then (key, cap) :: acc else acc)
+      pooled []
+  in
+  let groups = List.sort compare groups in
+  let ngroups = List.length groups in
+  (* Node layout: 0 = source, 1 = sink, groups, then machines. *)
+  let source = 0 and sink = 1 in
+  let group_node = Hashtbl.create ngroups in
+  List.iteri (fun idx (key, _) -> Hashtbl.add group_node key (2 + idx)) groups;
+  let machine_node i = 2 + ngroups + i in
+  let net = Suu_flow.Net.create (2 + ngroups + m) in
+  let demand = ref 0 in
+  List.iter
+    (fun (key, cap) ->
+      demand := !demand + cap;
+      let (_ : Suu_flow.Net.edge) =
+        Suu_flow.Net.add_edge net ~src:source
+          ~dst:(Hashtbl.find group_node key) ~cap
+      in
+      ())
+    groups;
+  let sink_cap = max 1 (Mathx.ceil_pos (6.0 *. frac_value)) in
+  for i = 0 to m - 1 do
+    let (_ : Suu_flow.Net.edge) =
+      Suu_flow.Net.add_edge net ~src:(machine_node i) ~dst:sink ~cap:sink_cap
+    in
+    ()
+  done;
+  (* Group -> machine edges exist for every machine in the group (not just
+     those the LP used), capped per job when requested (Lemma 6). *)
+  let job_edges : (int * int, Suu_flow.Net.edge) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun j ->
+      let cap =
+        match job_cap with
+        | None -> Suu_flow.Net.infinite
+        | Some f -> f j
+      in
+      for i = 0 to m - 1 do
+        if ell' i j > 0.0 then begin
+          let key = (j, group_of i j) in
+          match Hashtbl.find_opt group_node key with
+          | Some u ->
+              let e =
+                Suu_flow.Net.add_edge net ~src:u ~dst:(machine_node i) ~cap
+              in
+              Hashtbl.add job_edges (i, j) e
+          | None -> ()
+        end
+      done)
+    jobs;
+  let flow = Suu_flow.Dinic.max_flow net ~s:source ~t:sink in
+  if flow < !demand then
+    failwith
+      (Printf.sprintf
+         "Rounding.round: max flow %d below rounded demand %d (instance %s)"
+         flow !demand (Instance.name inst));
+  let x = Array.make_matrix m n 0 in
+  Hashtbl.iter
+    (fun (i, j) e -> x.(i).(j) <- x.(i).(j) + Suu_flow.Net.flow_on net e)
+    job_edges;
+  Assignment.make x

@@ -1,0 +1,33 @@
+(** LP rounding by grouping and integral max-flow (paper Lemma 2/Lemma 6).
+
+    Given a fractional solution of (LP1) (or the coverage core of (LP2)),
+    produce an *integral* assignment whose clipped log mass is at least the
+    target for every job and whose load is at most [ceil(6 t_star)]:
+
+    + group machines with [l'_ij] in [2^k, 2^(k+1)) and pool their
+      fractional assignment into [D*_jk];
+    + round the pooled assignments to [floor(6 D*_jk)], which still covers
+      [3L - 2L = L] of clipped mass per job;
+    + realize the rounded group totals as an integral flow in a
+      source → (job, k)-group → machine → sink network — integral because
+      capacities are integral (Ford–Fulkerson integrality). *)
+
+val round :
+  ?job_cap:(int -> int) ->
+  Instance.t ->
+  jobs:int array ->
+  target:float ->
+  frac:float array array ->
+  frac_value:float ->
+  Assignment.t
+(** [round inst ~jobs ~target ~frac ~frac_value] rounds the fractional
+    [frac] (with LP value [frac_value]) into an integral assignment with,
+    for every [j] in [jobs], clipped log mass
+    [sum_i min(l_ij, target) x_ij >= target], and every machine load
+    [<= ceil(6 frac_value)].
+
+    [job_cap j] caps each machine's steps on job [j] (Lemma 6 passes
+    [ceil(6 d*_j)] so chain lengths stay bounded); default: unbounded.
+
+    Raises [Failure] if the max flow falls short of the rounded demand,
+    which indicates an infeasible or corrupted fractional input. *)

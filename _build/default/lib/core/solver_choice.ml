@@ -1,0 +1,5 @@
+type t = Simplex | Mwu of float
+
+let default = Simplex
+
+let guarantee = function Simplex -> 1.0 | Mwu eps -> 1.0 +. (5.0 *. eps)

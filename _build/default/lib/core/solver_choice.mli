@@ -1,0 +1,16 @@
+(** Choice of fractional-LP backend for the (LP1)-shaped relaxations. *)
+
+type t =
+  | Simplex  (** exact dense two-phase simplex ({!Suu_lp.Simplex}) *)
+  | Mwu of float
+      (** Garg–Könemann multiplicative weights with the given [eps]
+          ({!Suu_lp.Mwu}); value within [1 + O(eps)] of optimal.  Use for
+          large instances where the dense tableau would be slow. *)
+
+val default : t
+(** [Simplex]. *)
+
+val guarantee : t -> float
+(** [guarantee s] is an upper bound on [value / optimum] for solutions
+    produced by [s]: [1.0] for the simplex, [1 + 5 eps] for MWU (the
+    constant is validated against the simplex in the test suite). *)

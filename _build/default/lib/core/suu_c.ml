@@ -1,0 +1,279 @@
+type stats = {
+  mutable supersteps : int;
+  mutable max_congestion : int;
+  mutable total_congestion : int;
+  mutable sem_invocations : int;
+  mutable sem_steps : int;
+}
+
+let new_stats () =
+  {
+    supersteps = 0;
+    max_congestion = 0;
+    total_congestion = 0;
+    sem_invocations = 0;
+    sem_steps = 0;
+  }
+
+type prepared = {
+  assignment : Assignment.t;
+  lp_value : float;
+  gamma : int;
+  load : int;
+  long_jobs : int list;
+  chains : Suu_dag.Chains.t;
+}
+
+let prepare ?top_machines inst ~chains =
+  let frac = Lp2.solve ?top_machines inst ~chains in
+  let assignment = Lp2.round inst frac in
+  let m = Instance.m inst in
+  let covered = Suu_dag.Chains.total_jobs chains in
+  let gamma =
+    max 1
+      (Mathx.ceil_pos (frac.Lp2.value /. Mathx.log2 (float_of_int (covered + m))))
+  in
+  let long_jobs = ref [] in
+  List.iter
+    (fun chain ->
+      Array.iter
+        (fun j ->
+          if Assignment.job_length assignment j > gamma then
+            long_jobs := j :: !long_jobs)
+        chain)
+    chains;
+  (* Load over short jobs only: long jobs never enter the pseudoschedule. *)
+  let is_long = Array.make (Instance.n inst) false in
+  List.iter (fun j -> is_long.(j) <- true) !long_jobs;
+  let load = ref 1 in
+  for i = 0 to m - 1 do
+    let acc = ref 0 in
+    for j = 0 to Instance.n inst - 1 do
+      if not is_long.(j) then acc := !acc + Assignment.get assignment i j
+    done;
+    if !acc > !load then load := !acc
+  done;
+  {
+    assignment;
+    lp_value = frac.Lp2.value;
+    gamma;
+    load = !load;
+    long_jobs = List.rev !long_jobs;
+    chains;
+  }
+
+(* Per-chain program item. *)
+type item = Short of int | Pause of int
+
+(* Per-execution chain cursor.  [offset = gamma] on a pause means the
+   pause has elapsed and the chain is waiting for its long job. *)
+type cursor = { mutable item : int; mutable offset : int }
+
+type mode =
+  | Flatten of {
+      queues : int array array; (* per machine: jobs this superstep *)
+      duration : int;
+      mutable tstep : int;
+    }
+  | Need_superstep
+  | Sem of { step : Policy.stepper; targets : int list }
+
+type exec = {
+  cursors : cursor array;
+  delays : int array;
+  mutable superstep : int;
+  mutable mode : mode;
+  pause_started : bool array; (* per job: its pause has begun *)
+}
+
+let policy_of_prepared ?solver ?stats ?(random_delays = true)
+    ?(delay_granularity = 1) inst prep =
+  if delay_granularity < 1 then
+    invalid_arg "Suu_c: delay_granularity must be >= 1";
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let chain_arr = Array.of_list prep.chains in
+  let nchains = Array.length chain_arr in
+  let is_long = Array.make n false in
+  List.iter (fun j -> is_long.(j) <- true) prep.long_jobs;
+  let d = Array.make n 1 in
+  let machines_of = Array.make n [] in
+  Array.iter
+    (fun chain ->
+      Array.iter
+        (fun j ->
+          d.(j) <- max 1 (Assignment.job_length prep.assignment j);
+          machines_of.(j) <- Assignment.machines_of_job prep.assignment j)
+        chain)
+    chain_arr;
+  let items =
+    Array.map
+      (fun chain ->
+        Array.map (fun j -> if is_long.(j) then Pause j else Short j) chain)
+      chain_arr
+  in
+  let record_superstep duration =
+    match stats with
+    | None -> ()
+    | Some s ->
+        s.supersteps <- s.supersteps + 1;
+        s.total_congestion <- s.total_congestion + duration;
+        if duration > s.max_congestion then s.max_congestion <- duration
+  in
+  let fresh rng =
+    (* Delays are drawn on a lattice of [delay_granularity] supersteps —
+       the paper's coarsening device for nonpolynomial t_LP2 reduces the
+       number of distinct delay values the same way. *)
+    let delays =
+      let g = delay_granularity in
+      let slots = (prep.load / g) + 1 in
+      Array.init nchains (fun _ ->
+          if random_delays then g * Suu_prng.Rng.int rng slots else 0)
+    in
+    let ex =
+      {
+        cursors = Array.init nchains (fun _ -> { item = 0; offset = 0 });
+        delays;
+        superstep = 0;
+        mode = Need_superstep;
+        pause_started = Array.make n false;
+      }
+    in
+    (* Requests of chain c for the coming superstep; also marks pause
+       starts.  Returns (job, machines) or None. *)
+    let chain_requests c ~remaining =
+      let cur = ex.cursors.(c) in
+      let prog = items.(c) in
+      if ex.superstep < ex.delays.(c) || cur.item >= Array.length prog then
+        None
+      else
+        match prog.(cur.item) with
+        | Short j ->
+            if remaining.(j) then begin
+              let ms =
+                List.filter_map
+                  (fun (i, xij) -> if xij > cur.offset then Some i else None)
+                  machines_of.(j)
+              in
+              Some (j, ms)
+            end
+            else None
+        | Pause j ->
+            if cur.offset = 0 && remaining.(j) then ex.pause_started.(j) <- true;
+            None
+    in
+    (* Advance every chain by one superstep (called after the superstep's
+       flattened timesteps have run). *)
+    let advance_chains ~remaining =
+      for c = 0 to nchains - 1 do
+        let cur = ex.cursors.(c) in
+        let prog = items.(c) in
+        if ex.superstep >= ex.delays.(c) && cur.item < Array.length prog then begin
+          match prog.(cur.item) with
+          | Short j ->
+              if cur.offset + 1 >= d.(j) then begin
+                if remaining.(j) then cur.offset <- 0 (* failed: repeat *)
+                else begin
+                  cur.item <- cur.item + 1;
+                  cur.offset <- 0
+                end
+              end
+              else cur.offset <- cur.offset + 1
+          | Pause j ->
+              if not remaining.(j) then begin
+                cur.item <- cur.item + 1;
+                cur.offset <- 0
+              end
+              else if cur.offset < prep.gamma then cur.offset <- cur.offset + 1
+              (* offset = gamma: pause elapsed, wait for the SEM runs. *)
+        end
+      done;
+      ex.superstep <- ex.superstep + 1
+    in
+    let pending_long ~remaining =
+      List.filter (fun j -> ex.pause_started.(j) && remaining.(j))
+        prep.long_jobs
+    in
+    let rec step ~time ~remaining ~eligible =
+      match ex.mode with
+      | Sem { step = inner; targets } ->
+          if List.exists (fun j -> remaining.(j)) targets then begin
+            (match stats with
+            | Some s -> s.sem_steps <- s.sem_steps + 1
+            | None -> ());
+            inner ~time ~remaining ~eligible
+          end
+          else begin
+            ex.mode <- Need_superstep;
+            step ~time ~remaining ~eligible
+          end
+      | Need_superstep ->
+          (* Segment boundary: run SUU-I-SEM on pending long jobs. *)
+          if ex.superstep > 0 && ex.superstep mod prep.gamma = 0 then begin
+            match pending_long ~remaining with
+            | [] -> build_superstep ~time ~remaining ~eligible
+            | targets ->
+                (match stats with
+                | Some s -> s.sem_invocations <- s.sem_invocations + 1
+                | None -> ());
+                let inner_policy =
+                  Suu_i_sem.policy ?solver ~jobs:(Array.of_list targets) inst
+                in
+                (* Mark handled: these pauses will have completed. *)
+                ex.mode <-
+                  Sem { step = Policy.fresh inner_policy rng; targets };
+                step ~time ~remaining ~eligible
+          end
+          else build_superstep ~time ~remaining ~eligible
+      | Flatten f ->
+          if f.tstep < f.duration then begin
+            let buf = Array.make m (-1) in
+            for i = 0 to m - 1 do
+              let q = f.queues.(i) in
+              if f.tstep < Array.length q then buf.(i) <- q.(f.tstep)
+            done;
+            f.tstep <- f.tstep + 1;
+            buf
+          end
+          else begin
+            advance_chains ~remaining;
+            ex.mode <- Need_superstep;
+            step ~time ~remaining ~eligible
+          end
+    and build_superstep ~time ~remaining ~eligible =
+      let queues = Array.make m [] in
+      let congestion = ref 0 in
+      for c = 0 to nchains - 1 do
+        match chain_requests c ~remaining with
+        | None -> ()
+        | Some (j, ms) ->
+            List.iter
+              (fun i ->
+                queues.(i) <- j :: queues.(i);
+                let len = List.length queues.(i) in
+                if len > !congestion then congestion := len)
+              ms
+      done;
+      let duration = max 1 !congestion in
+      record_superstep duration;
+      ex.mode <-
+        Flatten
+          {
+            queues = Array.map (fun l -> Array.of_list (List.rev l)) queues;
+            duration;
+            tstep = 0;
+          };
+      step ~time ~remaining ~eligible
+    in
+    fun ~time ~remaining ~eligible -> step ~time ~remaining ~eligible
+  in
+  Policy.make ~name:"suu-c" ~fresh
+
+let policy ?solver ?top_machines ?stats ?random_delays ?delay_granularity
+    inst =
+  match Suu_dag.Chains.of_dag (Instance.dag inst) with
+  | None -> invalid_arg "Suu_c.policy: precedence dag is not disjoint chains"
+  | Some chains ->
+      let prep = prepare ?top_machines inst ~chains in
+      policy_of_prepared ?solver ?stats ?random_delays ?delay_granularity
+        inst prep

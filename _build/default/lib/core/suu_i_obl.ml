@@ -1,0 +1,15 @@
+let plan ?solver inst =
+  let jobs = Array.init (Instance.n inst) (fun j -> j) in
+  let target = 0.5 in
+  let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs ~target in
+  let rounded =
+    Rounding.round inst ~jobs ~target ~frac:x ~frac_value:value
+  in
+  Oblivious.of_assignment rounded
+
+let policy ?solver inst =
+  let schedule = plan ?solver inst in
+  let h = Oblivious.horizon schedule in
+  Policy.make ~name:"suu-i-obl" ~fresh:(fun _rng ->
+      fun ~time ~remaining:_ ~eligible:_ ->
+        Oblivious.assignment_at schedule (time mod h))

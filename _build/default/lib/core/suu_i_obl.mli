@@ -1,0 +1,18 @@
+(** SUU-I-OBL: the oblivious O(log n)-approximation for independent jobs
+    (paper Section 3, Theorem 3).
+
+    Solve LP1(J, 1/2), round it (Lemma 2) into an assignment giving every
+    job log mass 1/2 — i.e. failure probability at most 1/sqrt 2 per pass —
+    serialize it into a finite oblivious schedule of length O(E[T_OPT])
+    (Lemma 1), and repeat that schedule until every job completes.  This
+    is also our stand-in for the previously-best Lin–Rajaraman O(log n)
+    algorithm in the Table 1 experiments. *)
+
+val plan : ?solver:Solver_choice.t -> Instance.t -> Oblivious.t
+(** [plan inst] is the single repeated oblivious schedule (exposed for
+    tests and diagnostics). *)
+
+val policy : ?solver:Solver_choice.t -> Instance.t -> Policy.t
+(** [policy inst] repeats {!plan} forever (the engine stops it when all
+    jobs are done).  The LP is solved once, at policy-creation time —
+    the schedule is fully oblivious. *)

@@ -1,0 +1,91 @@
+let rounds inst =
+  Mathx.rounds_k ~n:(Instance.n inst) ~m:(Instance.m inst)
+
+type mode =
+  | Rounds  (** executing the current round's oblivious plan *)
+  | Repeat_last  (** m < n tail: cycle the round-K plan *)
+  | Serial  (** n <= m tail: all machines on one job at a time *)
+
+type state = {
+  mutable mode : mode;
+  mutable round : int;
+  mutable plan : Oblivious.t option;
+  mutable pos : int;
+}
+
+let policy ?solver ?jobs inst =
+  let m = Instance.m inst in
+  let scope =
+    match jobs with
+    | Some js -> Array.copy js
+    | None -> Array.init (Instance.n inst) (fun j -> j)
+  in
+  let nscope = Array.length scope in
+  if nscope = 0 then invalid_arg "Suu_i_sem.policy: empty job subset";
+  let k_max = Mathx.rounds_k ~n:nscope ~m in
+  let idle = Array.make m (-1) in
+  let fresh _rng =
+    let st = { mode = Rounds; round = 1; plan = None; pos = 0 } in
+    let survivors remaining =
+      Array.of_list (List.filter (fun j -> remaining.(j)) (Array.to_list scope))
+    in
+    let start_round remaining =
+      let js = survivors remaining in
+      if Array.length js = 0 then None
+      else begin
+        let target = Mathx.target_for_round st.round in
+        let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:js ~target in
+        let rounded =
+          Rounding.round inst ~jobs:js ~target ~frac:x ~frac_value:value
+        in
+        Some (Oblivious.of_assignment rounded)
+      end
+    in
+    let rec step ~time ~remaining ~eligible =
+      match st.mode with
+      | Serial -> (
+          (* One remaining scoped job at a time, all machines on it. *)
+          let job = Array.find_opt (fun j -> remaining.(j)) scope in
+          match job with
+          | None -> idle
+          | Some j -> Array.make m j)
+      | Repeat_last -> (
+          match st.plan with
+          | None -> idle
+          | Some plan ->
+              let h = Oblivious.horizon plan in
+              let a = Oblivious.assignment_at plan (st.pos mod h) in
+              st.pos <- st.pos + 1;
+              a)
+      | Rounds -> (
+          (match st.plan with
+          | Some _ -> ()
+          | None ->
+              st.plan <- start_round remaining;
+              st.pos <- 0);
+          match st.plan with
+          | None -> idle
+          | Some plan ->
+              if st.pos < Oblivious.horizon plan then begin
+                let a = Oblivious.assignment_at plan st.pos in
+                st.pos <- st.pos + 1;
+                a
+              end
+              else if st.round < k_max then begin
+                st.round <- st.round + 1;
+                st.plan <- None;
+                step ~time ~remaining ~eligible
+              end
+              else begin
+                (* Tail phase after round K. *)
+                if nscope <= m then st.mode <- Serial
+                else begin
+                  st.mode <- Repeat_last;
+                  st.pos <- 0
+                end;
+                step ~time ~remaining ~eligible
+              end)
+    in
+    step
+  in
+  Policy.make ~name:"suu-i-sem" ~fresh

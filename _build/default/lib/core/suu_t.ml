@@ -1,0 +1,49 @@
+let blocks inst =
+  match Suu_dag.Forest.decompose (Instance.dag inst) with
+  | Some blocks -> blocks
+  | None -> invalid_arg "Suu_t.policy: precedence dag is not a forest"
+
+let policy ?solver ?top_machines inst =
+  let stage_chains = blocks inst in
+  let stages =
+    Array.map
+      (fun chains ->
+        let prep = Suu_c.prepare ?top_machines inst ~chains in
+        (chains, Suu_c.policy_of_prepared ?solver inst prep))
+      stage_chains
+  in
+  let m = Instance.m inst in
+  let idle = Array.make m (-1) in
+  let fresh rng =
+    let stage = ref 0 in
+    let stepper = ref None in
+    let block_done remaining chains =
+      List.for_all
+        (fun chain -> Array.for_all (fun j -> not remaining.(j)) chain)
+        chains
+    in
+    let rec step ~time ~remaining ~eligible =
+      if !stage >= Array.length stages then idle
+      else begin
+        let chains, pol = stages.(!stage) in
+        if block_done remaining chains then begin
+          stage := !stage + 1;
+          stepper := None;
+          step ~time ~remaining ~eligible
+        end
+        else begin
+          let s =
+            match !stepper with
+            | Some s -> s
+            | None ->
+                let s = Policy.fresh pol rng in
+                stepper := Some s;
+                s
+          in
+          s ~time ~remaining ~eligible
+        end
+      end
+    in
+    step
+  in
+  Policy.make ~name:"suu-t" ~fresh

@@ -1,0 +1,1 @@
+lib/dag/chains.mli: Dag

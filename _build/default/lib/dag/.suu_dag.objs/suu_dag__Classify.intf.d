@@ -1,0 +1,1 @@
+lib/dag/classify.mli: Chains Dag

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Hashtbl Int List Set Stack

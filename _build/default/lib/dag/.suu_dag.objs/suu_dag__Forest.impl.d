@@ -1,0 +1,1 @@
+lib/dag/forest.ml: Array Dag Hashtbl List Queue Stack

@@ -1,0 +1,1 @@
+lib/dag/forest.mli: Dag

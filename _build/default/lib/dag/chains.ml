@@ -1,0 +1,64 @@
+type t = int array list
+
+let of_dag g =
+  let n = Dag.size g in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    if Dag.in_degree g j > 1 || Dag.out_degree g j > 1 then ok := false
+  done;
+  if not !ok then None
+  else begin
+    (* Every component is a path: walk forward from each source. *)
+    let used = Array.make n false in
+    let chains = ref [] in
+    for start = 0 to n - 1 do
+      if (not used.(start)) && Dag.in_degree g start = 0 then begin
+        let rec walk j acc =
+          used.(j) <- true;
+          match Dag.succs g j with
+          | [] -> List.rev (j :: acc)
+          | [ next ] -> walk next (j :: acc)
+          | _ -> assert false
+        in
+        chains := Array.of_list (walk start []) :: !chains
+      end
+    done;
+    (* In a dag with all degrees <= 1, every node is reachable from a
+       source, so all nodes are used. *)
+    assert (Array.for_all (fun u -> u) used);
+    Some (List.rev !chains)
+  end
+
+let to_dag ~n chains =
+  let seen = Array.make n false in
+  let edges = ref [] in
+  List.iter
+    (fun chain ->
+      Array.iteri
+        (fun k j ->
+          if j < 0 || j >= n then invalid_arg "Chains.to_dag: out of range";
+          if seen.(j) then invalid_arg "Chains.to_dag: duplicate job";
+          seen.(j) <- true;
+          if k > 0 then edges := (chain.(k - 1), j) :: !edges)
+        chain)
+    chains;
+  Dag.of_edges ~n !edges
+
+let total_jobs chains =
+  List.fold_left (fun acc c -> acc + Array.length c) 0 chains
+
+let max_length chains =
+  List.fold_left (fun acc c -> max acc (Array.length c)) 0 chains
+
+let chain_of_job ~n chains =
+  let chain_index = Array.make n (-1) in
+  let position = Array.make n (-1) in
+  List.iteri
+    (fun ci chain ->
+      Array.iteri
+        (fun k j ->
+          chain_index.(j) <- ci;
+          position.(j) <- k)
+        chain)
+    chains;
+  (chain_index, position)

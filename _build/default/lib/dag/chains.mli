@@ -1,0 +1,28 @@
+(** Chain-shaped precedence constraints (the SUU-C setting).
+
+    A chain collection partitions the jobs into totally ordered sequences;
+    isolated jobs are singleton chains. *)
+
+type t = int array list
+(** Each array lists one chain's jobs in precedence order. *)
+
+val of_dag : Dag.t -> t option
+(** [of_dag g] recognizes a dag whose components are simple directed paths
+    and returns its chains (each including singletons), deterministically
+    ordered by first job.  [None] when some job has in- or out-degree
+    above one or a component is not a path. *)
+
+val to_dag : n:int -> t -> Dag.t
+(** [to_dag ~n chains] is the dag with an edge between consecutive chain
+    elements.  Raises [Invalid_argument] if a job appears twice or is out
+    of range. *)
+
+val total_jobs : t -> int
+
+val max_length : t -> int
+(** Length (in jobs) of the longest chain; 0 for the empty collection. *)
+
+val chain_of_job : n:int -> t -> int array * int array
+(** [chain_of_job ~n chains] returns [(chain_index, position)] arrays
+    mapping each job to its chain id and offset; jobs not mentioned map to
+    [(-1, -1)]. *)

@@ -1,0 +1,23 @@
+type shape =
+  | Independent
+  | Disjoint_chains of Chains.t
+  | Directed_forest of int array list array
+  | General
+
+let classify g =
+  if Dag.is_edgeless g then Independent
+  else
+    match Chains.of_dag g with
+    | Some chains -> Disjoint_chains chains
+    | None -> (
+        match Forest.decompose g with
+        | Some blocks -> Directed_forest blocks
+        | None -> General)
+
+let describe = function
+  | Independent -> "independent"
+  | Disjoint_chains chains ->
+      Printf.sprintf "disjoint chains (%d chains)" (List.length chains)
+  | Directed_forest blocks ->
+      Printf.sprintf "directed forest (%d blocks)" (Array.length blocks)
+  | General -> "general dag"

@@ -1,0 +1,16 @@
+(** Recognize which of the paper's precedence-constraint classes an
+    instance belongs to, so the right algorithm (SUU-I / SUU-C / SUU-T) can
+    be dispatched automatically. *)
+
+type shape =
+  | Independent  (** no precedence constraints: SUU-I applies *)
+  | Disjoint_chains of Chains.t  (** SUU-C applies *)
+  | Directed_forest of int array list array
+      (** block decomposition, SUU-T applies *)
+  | General  (** beyond the paper's approximation algorithms *)
+
+val classify : Dag.t -> shape
+(** [classify g] returns the most specific applicable shape (edgeless
+    before chains before forests). *)
+
+val describe : shape -> string

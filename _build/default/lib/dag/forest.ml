@@ -1,0 +1,141 @@
+type orientation = Out_tree | In_tree
+
+(* Per weakly-connected component: the node set and a valid orientation,
+   or None when some component is neither an in- nor an out-tree. *)
+let orient g =
+  let n = Dag.size g in
+  let label = Dag.components g in
+  let ncomp =
+    Array.fold_left (fun acc c -> max acc (c + 1)) 0 label
+  in
+  let members = Array.make ncomp [] in
+  for j = n - 1 downto 0 do
+    members.(label.(j)) <- j :: members.(label.(j))
+  done;
+  let classify nodes =
+    let edges =
+      List.fold_left (fun acc j -> acc + Dag.out_degree g j) 0 nodes
+    in
+    let tree = edges = List.length nodes - 1 in
+    if not tree then None
+    else if List.for_all (fun j -> Dag.in_degree g j <= 1) nodes then
+      Some Out_tree
+    else if List.for_all (fun j -> Dag.out_degree g j <= 1) nodes then
+      Some In_tree
+    else None
+  in
+  let oriented = Array.map (fun nodes -> (nodes, classify nodes)) members in
+  if Array.for_all (fun (_, o) -> o <> None) oriented then
+    Some
+      (Array.map
+         (fun (nodes, o) ->
+           match o with Some o -> (nodes, o) | None -> assert false)
+         oriented)
+  else None
+
+let is_forest g = orient g <> None
+
+(* Heavy-path decomposition of one tree component.  [children] gives the
+   tree children of a node (successors for an out-tree, predecessors for an
+   in-tree); [root] is the unique node without a tree parent.  Returns
+   chains as (light_depth, path-from-head-downward) pairs. *)
+let heavy_paths ~children ~root =
+  (* Iterative preorder; sizes in reverse preorder. *)
+  let preorder = ref [] in
+  let stack = Stack.create () in
+  Stack.push root stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    preorder := v :: !preorder;
+    List.iter (fun c -> Stack.push c stack) (children v)
+  done;
+  let rev_preorder = !preorder in
+  let size = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let s =
+        List.fold_left (fun acc c -> acc + Hashtbl.find size c) 1 (children v)
+      in
+      Hashtbl.replace size v s)
+    rev_preorder;
+  let heavy v =
+    match children v with
+    | [] -> None
+    | cs ->
+        let best =
+          List.fold_left
+            (fun best c ->
+              match best with
+              | None -> Some c
+              | Some b ->
+                  if Hashtbl.find size c > Hashtbl.find size b then Some c
+                  else best)
+            None cs
+        in
+        best
+  in
+  (* Walk heads: a head is the root or any non-heavy child; its light depth
+     is one more than its parent chain's. *)
+  let chains = ref [] in
+  let heads = Queue.create () in
+  Queue.add (root, 0) heads;
+  while not (Queue.is_empty heads) do
+    let h, depth = Queue.take heads in
+    let rec follow v acc =
+      let hv = heavy v in
+      List.iter
+        (fun c ->
+          match hv with
+          | Some b when b = c -> ()
+          | _ -> Queue.add (c, depth + 1) heads)
+        (children v);
+      match hv with
+      | None -> List.rev (v :: acc)
+      | Some b -> follow b (v :: acc)
+    in
+    chains := (depth, Array.of_list (follow h [])) :: !chains
+  done;
+  List.rev !chains
+
+let decompose g =
+  match orient g with
+  | None -> None
+  | Some comps ->
+      let tagged = ref [] in
+      Array.iter
+        (fun (nodes, o) ->
+          match o with
+          | Out_tree ->
+              let root =
+                List.find (fun j -> Dag.in_degree g j = 0) nodes
+              in
+              let paths =
+                heavy_paths ~children:(fun v -> Dag.succs g v) ~root
+              in
+              (* Out-tree: predecessors are ancestors; heads closer to the
+                 root must run first, and chains run top-down. *)
+              List.iter (fun (d, c) -> tagged := (d, c) :: !tagged) paths
+          | In_tree ->
+              let root =
+                List.find (fun j -> Dag.out_degree g j = 0) nodes
+              in
+              let paths =
+                heavy_paths ~children:(fun v -> Dag.preds g v) ~root
+              in
+              (* In-tree: predecessors are descendants; deepest blocks run
+                 first and each chain runs bottom-up (reversed path). *)
+              let dmax =
+                List.fold_left (fun acc (d, _) -> max acc d) 0 paths
+              in
+              List.iter
+                (fun (d, c) ->
+                  let rev = Array.of_list (List.rev (Array.to_list c)) in
+                  tagged := (dmax - d, rev) :: !tagged)
+                paths)
+        comps;
+      let nblocks =
+        List.fold_left (fun acc (d, _) -> max acc (d + 1)) 0 !tagged
+      in
+      let blocks = Array.make (max nblocks 1) [] in
+      List.iter (fun (d, c) -> blocks.(d) <- c :: blocks.(d)) !tagged;
+      Some (Array.map List.rev blocks)

@@ -1,0 +1,24 @@
+(** Chain decomposition of directed forests (paper Appendix B).
+
+    The paper obtains its SUU-T algorithm by decomposing a directed forest
+    into [O(log n)] blocks, each a collection of vertex-disjoint chains,
+    and running SUU-C once per block (the technique of Kumar, Marathe,
+    Parthasarathy and Srinivasan).  We realize the decomposition with
+    heavy-path decomposition: within each tree, block [k] holds the heavy
+    paths whose head sits below exactly [k] light edges.  Because every
+    light edge at least halves the subtree size, there are at most
+    [floor(log2 n) + 1] blocks, and all predecessors of a chain in block
+    [k] lie in blocks before [k]. *)
+
+val is_forest : Dag.t -> bool
+(** [is_forest g] is true when every weakly-connected component of [g] is
+    an out-tree (every in-degree <= 1) or an in-tree (every out-degree
+    <= 1). *)
+
+val decompose : Dag.t -> int array list array option
+(** [decompose g] returns [Some blocks] when [g] is a directed forest:
+    [blocks.(k)] lists the chains of block [k], each an array of jobs in
+    execution order, such that executing blocks in index order respects
+    every precedence constraint.  Chains across one block are
+    vertex-disjoint.  Returns [None] when [g] is not a directed forest.
+    Isolated jobs appear as singleton chains in block 0. *)

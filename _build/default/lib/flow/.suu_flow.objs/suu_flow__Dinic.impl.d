@@ -1,0 +1,1 @@
+lib/flow/dinic.ml: Array Net

@@ -1,0 +1,1 @@
+lib/flow/edmonds_karp.ml: Array Net

@@ -1,0 +1,1 @@
+lib/flow/net.ml: Array List

@@ -1,0 +1,79 @@
+let check_endpoints net ~s ~t =
+  let n = Net.num_nodes net in
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Dinic: node out of range";
+  if s = t then invalid_arg "Dinic: source equals sink"
+
+let max_flow net ~s ~t =
+  check_endpoints net ~s ~t;
+  let adj, dst, cap = Net.internal net in
+  let n = Net.num_nodes net in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let queue = Array.make n 0 in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    level.(s) <- 0;
+    queue.(0) <- s;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      Array.iter
+        (fun a ->
+          let u = dst.(a) in
+          if cap.(a) > 0 && level.(u) < 0 then begin
+            level.(u) <- level.(v) + 1;
+            queue.(!tail) <- u;
+            incr tail
+          end)
+        adj.(v)
+    done;
+    level.(t) >= 0
+  in
+  (* Depth-first blocking flow with arc iterators. *)
+  let rec dfs v pushed =
+    if v = t then pushed
+    else begin
+      let arcs = adj.(v) in
+      let result = ref 0 in
+      while !result = 0 && iter.(v) < Array.length arcs do
+        let a = arcs.(iter.(v)) in
+        let u = dst.(a) in
+        if cap.(a) > 0 && level.(u) = level.(v) + 1 then begin
+          let got = dfs u (min pushed cap.(a)) in
+          if got > 0 then begin
+            cap.(a) <- cap.(a) - got;
+            cap.(a lxor 1) <- cap.(a lxor 1) + got;
+            result := got
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !result
+    end
+  in
+  let total = ref 0 in
+  while bfs () do
+    Array.fill iter 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let pushed = dfs s Net.infinite in
+      if pushed = 0 then continue := false else total := !total + pushed
+    done
+  done;
+  !total
+
+let min_cut net ~s =
+  let adj, dst, cap = Net.internal net in
+  let n = Net.num_nodes net in
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Array.iter (fun a -> if cap.(a) > 0 then go dst.(a)) adj.(v)
+    end
+  in
+  go s;
+  seen

@@ -1,0 +1,15 @@
+(** Dinic's maximum-flow algorithm.
+
+    O(V^2 E) in general, O(E sqrt V) on the unit-ish bipartite networks the
+    Lemma-2 rounding builds.  Returns an integral flow, as required by the
+    Ford–Fulkerson integrality argument the paper invokes. *)
+
+val max_flow : Net.t -> s:int -> t:int -> int
+(** [max_flow net ~s ~t] computes a maximum [s]–[t] flow, mutating [net]
+    into its residual graph, and returns the flow value.  Raises
+    [Invalid_argument] when [s = t] or either node is out of range. *)
+
+val min_cut : Net.t -> s:int -> bool array
+(** [min_cut net ~s] — to be called after {!max_flow} — marks the source
+    side of a minimum cut (nodes reachable from [s] in the residual
+    graph). *)

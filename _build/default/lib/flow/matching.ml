@@ -1,0 +1,31 @@
+let maximum ~left ~right ~adj =
+  if left < 0 || right < 0 then invalid_arg "Matching.maximum: negative size";
+  let match_l = Array.make left (-1) in
+  let match_r = Array.make right (-1) in
+  let visited = Array.make right false in
+  let rec try_augment l =
+    List.exists
+      (fun r ->
+        if r < 0 || r >= right then
+          invalid_arg "Matching.maximum: neighbour out of range";
+        if visited.(r) then false
+        else begin
+          visited.(r) <- true;
+          if match_r.(r) < 0 || try_augment match_r.(r) then begin
+            match_l.(l) <- r;
+            match_r.(r) <- l;
+            true
+          end
+          else false
+        end)
+      (adj l)
+  in
+  for l = 0 to left - 1 do
+    Array.fill visited 0 right false;
+    let (_ : bool) = try_augment l in
+    ()
+  done;
+  (match_l, match_r)
+
+let is_perfect_on_left match_of_left =
+  Array.for_all (fun r -> r >= 0) match_of_left

@@ -1,0 +1,16 @@
+(** Maximum bipartite matching (Kuhn's augmenting-path algorithm).
+
+    Used by the Birkhoff–von-Neumann decomposition in [suu_stoch] to peel
+    preemptive schedule slices out of a Lawler–Labetoulle LP solution: each
+    slice is a matching between machines and jobs. *)
+
+val maximum :
+  left:int -> right:int -> adj:(int -> int list) -> int array * int array
+(** [maximum ~left ~right ~adj] computes a maximum matching of the
+    bipartite graph with [left] left nodes, [right] right nodes and
+    neighbours [adj l] for each left node.  Returns
+    [(match_of_left, match_of_right)] where unmatched nodes map to [-1]. *)
+
+val is_perfect_on_left : int array -> bool
+(** [is_perfect_on_left match_of_left] is true when every left node is
+    matched. *)

@@ -1,0 +1,1 @@
+lib/lp/mwu.ml: Array Float

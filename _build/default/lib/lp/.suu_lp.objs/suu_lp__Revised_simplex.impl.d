@@ -1,0 +1,1 @@
+lib/lp/revised_simplex.ml: Array Float Problem Simplex

@@ -1,0 +1,37 @@
+(** Width-independent multiplicative-weights solver for the min-load
+    covering shape shared by (LP1) and the core of (LP2):
+
+    {v
+      minimize   t
+      subject to sum_i a_ij * x_ij >= target_j   for every job j
+                 sum_j x_ij        <= t           for every machine i
+                 x_ij >= 0
+    v}
+
+    This is the fractional relaxation the paper solves with a black-box LP
+    solver; here it is solved by the Garg–Könemann maximum-concurrent-flow
+    scheme (each job is a commodity whose "paths" are single machines with
+    gain [a_ij]), giving a [(1 + O(eps))]-approximation in
+    [O(nm log(m) / eps^2)] time — the scalable alternative to the exact
+    simplex for large instances (ablation A2 in DESIGN.md). *)
+
+type solution = {
+  x : float array array;  (** [x.(i).(j)]: steps of machine [i] on job [j] *)
+  value : float;  (** the achieved load [max_i sum_j x.(i).(j)] *)
+}
+
+val min_load_cover :
+  a:(int -> int -> float) ->
+  m:int ->
+  n:int ->
+  targets:float array ->
+  eps:float ->
+  solution
+(** [min_load_cover ~a ~m ~n ~targets ~eps] returns a strictly feasible
+    fractional assignment covering every job [j] with
+    [sum_i a i j * x.(i).(j) >= targets.(j)] whose load is within a
+    [1 + O(eps)] factor of optimal.
+
+    Requirements: [0 < eps <= 0.5]; [targets.(j) > 0] and at least one
+    machine with [a i j > 0] for every job [j]; all [a i j >= 0].
+    Raises [Invalid_argument] otherwise. *)

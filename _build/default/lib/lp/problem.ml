@@ -1,0 +1,98 @@
+type var = int
+type sense = Le | Ge | Eq
+
+type row = { terms : (var * float) array; sense : sense; rhs : float }
+
+type t = {
+  pname : string;
+  mutable nvars : int;
+  mutable obj : float array; (* grows; dense objective *)
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+}
+
+let create ?(name = "lp") () =
+  { pname = name; nvars = 0; obj = Array.make 16 0.0; rows = []; nrows = 0 }
+
+let name t = t.pname
+
+let ensure_obj_capacity t n =
+  let cap = Array.length t.obj in
+  if n > cap then begin
+    let fresh = Array.make (max n (2 * cap)) 0.0 in
+    Array.blit t.obj 0 fresh 0 cap;
+    t.obj <- fresh
+  end
+
+let add_var ?name:_ ?(obj = 0.0) t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  ensure_obj_capacity t t.nvars;
+  t.obj.(v) <- obj;
+  v
+
+let add_vars ?(obj = 0.0) t k =
+  Array.init k (fun _ -> add_var ~obj t)
+
+let set_obj t v c =
+  if v < 0 || v >= t.nvars then invalid_arg "Problem.set_obj: bad var";
+  t.obj.(v) <- c
+
+(* Merge duplicate variables in a term list. *)
+let normalize_terms t terms =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nvars then
+        invalid_arg "Problem.add_constraint: variable out of range")
+    terms;
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (v, c) ->
+      let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
+      Hashtbl.replace tbl v (prev +. c))
+    terms;
+  let acc = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
+  let arr = Array.of_list acc in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+let add_constraint ?name:_ t terms sense rhs =
+  let terms = normalize_terms t terms in
+  t.rows <- { terms; sense; rhs } :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let num_vars t = t.nvars
+let num_constraints t = t.nrows
+
+let objective_value t x =
+  let acc = ref 0.0 in
+  for v = 0 to t.nvars - 1 do
+    acc := !acc +. (t.obj.(v) *. x.(v))
+  done;
+  !acc
+
+let row_value terms x =
+  Array.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 terms
+
+let constraint_violation t x =
+  let worst = ref 0.0 in
+  for v = 0 to t.nvars - 1 do
+    if x.(v) < 0.0 then worst := Float.max !worst (-.x.(v))
+  done;
+  List.iter
+    (fun { terms; sense; rhs } ->
+      let lhs = row_value terms x in
+      let viol =
+        match sense with
+        | Le -> lhs -. rhs
+        | Ge -> rhs -. lhs
+        | Eq -> Float.abs (lhs -. rhs)
+      in
+      if viol > !worst then worst := viol)
+    t.rows;
+  !worst
+
+let iter_constraints t f =
+  List.iter (fun { terms; sense; rhs } -> f terms sense rhs) (List.rev t.rows)
+
+let objective t = Array.sub t.obj 0 t.nvars

@@ -1,0 +1,23 @@
+(** Revised simplex with an explicit basis inverse.
+
+    A second, structurally independent implementation of two-phase
+    simplex: where {!Simplex} carries the full tableau through every
+    pivot, this solver maintains only the basis inverse [B⁻¹] (updated by
+    elementary eta transformations and periodically refactorized by
+    Gauss–Jordan for numerical hygiene) and prices columns against the
+    original constraint matrix.
+
+    Since the paper's guarantees all flow through LP solutions
+    (Lemmas 1, 2, 5, 6; the LL LP; LST), having two independent solvers
+    lets the test suite differentially validate the critical substrate:
+    both must agree on optimal values, feasibility and unboundedness for
+    every randomized instance. *)
+
+val solve : ?max_iters:int -> Problem.t -> Simplex.result
+(** [solve p] optimizes [p] with the same contract as
+    {!Simplex.solve} (identical result type; optimal values agree to
+    numerical tolerance, though the optimal vertex may differ when the
+    optimum is degenerate). *)
+
+val solve_exn : ?max_iters:int -> Problem.t -> float * float array
+(** Like {!Simplex.solve_exn}. *)

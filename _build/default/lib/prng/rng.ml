@@ -1,0 +1,92 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64;
+           mutable s3 : int64 }
+
+(* splitmix64: used only to expand a seed into xoshiro state. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits for exact uniformity. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let v = Int64.logand (bits64 t) mask in
+    let lim = Int64.sub mask (Int64.rem mask bound) in
+    if Int64.unsigned_compare v lim >= 0 then draw ()
+    else Int64.to_int (Int64.rem v bound)
+  in
+  draw ()
+
+let float t x =
+  (* 53 random bits over [0,1), scaled. *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53 *. x
+
+let uniform_open t =
+  let rec draw () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.range: lo > hi";
+  lo +. float t (hi -. lo)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (uniform_open t) /. rate
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1.0 then 1
+  else
+    let u = uniform_open t in
+    let k = ceil (log u /. log (1.0 -. p)) in
+    max 1 (int_of_float k)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of this repository (workload generators, SUU*
+    traces, random delays) draws from this module so experiments are exactly
+    reproducible from a seed.  The generator is xoshiro256** seeded through
+    splitmix64, the combination recommended by Blackman and Vigna; it is
+    fast, has a 2^256-1 period, and supports cheap independent substreams
+    via {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator deterministically from [seed] (any
+    int, including negative values). *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a fresh, statistically independent
+    generator.  [t] advances. *)
+
+val bits64 : t -> int64
+(** [bits64 t] returns the next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1].  Raises [Invalid_argument] when
+    [n <= 0].  Uses rejection sampling, so it is exactly uniform. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x), with 53 random mantissa bits. *)
+
+val uniform_open : t -> float
+(** [uniform_open t] is uniform on the open interval (0, 1) — never exactly
+    0 or 1, as required for SUU* thresholds [-log2 r]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val range : t -> lo:float -> hi:float -> float
+(** [range t ~lo ~hi] is uniform on [lo, hi).  Requires [lo <= hi]. *)
+
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] samples Exp(rate), mean [1/rate].  Requires
+    [rate > 0]. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] is the number of Bernoulli(p) trials up to and
+    including the first success (support {1, 2, ...}, mean [1/p]).
+    Requires [0 < p <= 1].  Sampled by inversion, O(1). *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] uniformly in place (Fisher–Yates). *)

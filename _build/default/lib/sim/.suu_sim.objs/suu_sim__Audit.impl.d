@@ -1,0 +1,1 @@
+lib/sim/audit.ml: Array List Printf String Suu_core Suu_dag Trace

@@ -1,0 +1,1 @@
+lib/sim/audit.mli: Suu_core Trace

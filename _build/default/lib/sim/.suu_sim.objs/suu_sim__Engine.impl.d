@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array List Printf Suu_core Suu_dag Suu_prng Trace

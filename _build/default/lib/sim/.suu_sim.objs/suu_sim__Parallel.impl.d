@@ -1,0 +1,1 @@
+lib/sim/parallel.ml: Array Domain Engine List Runner Suu_core Trace

@@ -1,0 +1,1 @@
+lib/sim/parallel.mli: Suu_core

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Engine Float Suu_core Suu_prng Trace

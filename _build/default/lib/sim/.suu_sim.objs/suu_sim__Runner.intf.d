@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Suu_core Suu_prng

@@ -1,0 +1,102 @@
+module Instance = Suu_core.Instance
+module Policy = Suu_core.Policy
+
+exception Invalid_schedule of string
+exception Horizon_exceeded of int
+
+type result = {
+  makespan : int;
+  busy_steps : int;
+  wasted_steps : int;
+  idle_steps : int;
+}
+
+let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if Trace.n trace <> n then invalid_arg "Engine.run: trace size mismatch";
+  let g = Instance.dag inst in
+  let remaining = Array.make n true in
+  let mass = Array.make n 0.0 in
+  let eligible = Array.make n false in
+  let completed = Array.make n false in
+  let refresh_eligible () =
+    for j = 0 to n - 1 do
+      eligible.(j) <-
+        remaining.(j) && Suu_dag.Dag.eligible g ~completed j
+    done
+  in
+  let left = ref n in
+  (* Zero thresholds (r_j = 1) complete with no work at all. *)
+  for j = 0 to n - 1 do
+    if Trace.threshold trace j <= 0.0 then begin
+      remaining.(j) <- false;
+      completed.(j) <- true;
+      decr left
+    end
+  done;
+  refresh_eligible ();
+  let stepper = Policy.fresh policy (Suu_prng.Rng.split rng) in
+  let busy = ref 0 and wasted = ref 0 and idle = ref 0 in
+  let time = ref 0 in
+  while !left > 0 do
+    if !time >= cap then raise (Horizon_exceeded cap);
+    let a = stepper ~time:!time ~remaining ~eligible in
+    (match on_step with
+    | Some f -> f ~time:!time ~assignment:a
+    | None -> ());
+    if Array.length a <> m then
+      raise
+        (Invalid_schedule
+           (Printf.sprintf "%s: assignment has %d entries for %d machines"
+              (Policy.name policy) (Array.length a) m));
+    let touched = ref [] in
+    for i = 0 to m - 1 do
+      let j = a.(i) in
+      if j = -1 then incr idle
+      else if j < 0 || j >= n then
+        raise
+          (Invalid_schedule
+             (Printf.sprintf "%s: machine %d assigned to bad job %d"
+                (Policy.name policy) i j))
+      else if not remaining.(j) then incr wasted
+      else if not eligible.(j) then
+        raise
+          (Invalid_schedule
+             (Printf.sprintf
+                "%s: machine %d assigned to ineligible job %d at step %d"
+                (Policy.name policy) i j !time))
+      else begin
+        incr busy;
+        if mass.(j) < Trace.threshold trace j then begin
+          mass.(j) <- mass.(j) +. Instance.log_failure inst i j;
+          touched := j :: !touched
+        end
+      end
+    done;
+    (* Completions take effect at the end of the unit step. *)
+    let any_completed = ref false in
+    List.iter
+      (fun j ->
+        if remaining.(j) && mass.(j) >= Trace.threshold trace j -. 1e-12
+        then begin
+          remaining.(j) <- false;
+          completed.(j) <- true;
+          decr left;
+          any_completed := true
+        end)
+      !touched;
+    if !any_completed then refresh_eligible ();
+    incr time
+  done;
+  { makespan = !time; busy_steps = !busy; wasted_steps = !wasted;
+    idle_steps = !idle }
+
+let makespan ?cap inst policy ~trace ~rng =
+  (run ?cap inst policy ~trace ~rng).makespan
+
+let run_recorded ?cap inst policy ~trace ~rng =
+  let rows = ref [] in
+  let on_step ~time:_ ~assignment = rows := Array.copy assignment :: !rows in
+  let result = run ?cap ~on_step inst policy ~trace ~rng in
+  (result, Array.of_list (List.rev !rows))

@@ -1,0 +1,37 @@
+let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let job_symbol j =
+  if j < 0 then '.' else alphabet.[j mod String.length alphabet]
+
+let utilization steps =
+  match Array.length steps with
+  | 0 -> [||]
+  | t ->
+      let m = Array.length steps.(0) in
+      let busy = Array.make m 0 in
+      Array.iter
+        (Array.iteri (fun i j -> if j >= 0 then busy.(i) <- busy.(i) + 1))
+        steps;
+      Array.map (fun b -> float_of_int b /. float_of_int t) busy
+
+let render ?(max_width = 100) steps =
+  let t = Array.length steps in
+  if t = 0 then ""
+  else begin
+    let m = Array.length steps.(0) in
+    let stride = max 1 ((t + max_width - 1) / max_width) in
+    let cols = (t + stride - 1) / stride in
+    let buf = Buffer.create ((m + 2) * (cols + 16)) in
+    for i = 0 to m - 1 do
+      Buffer.add_string buf (Printf.sprintf "m%-3d " i);
+      for c = 0 to cols - 1 do
+        Buffer.add_char buf (job_symbol steps.(c * stride).(i))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    if stride > 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "     (1 column = %d steps, %d steps total)\n"
+           stride t);
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** ASCII Gantt rendering of recorded executions.
+
+    Takes the assignment matrix from {!Engine.run_recorded} (one row per
+    step, one entry per machine) and draws one text row per machine over
+    time: digits/letters identify jobs (modulo the symbol alphabet),
+    ['.'] is an idle machine.  Long executions are column-sampled to fit
+    a width. *)
+
+val render : ?max_width:int -> int array array -> string
+(** [render steps] draws the timeline ([max_width] columns at most,
+    default 100; when sampling, each printed column shows the first step
+    of its bucket and a scale note is appended).  Returns [""] for an
+    empty recording. *)
+
+val utilization : int array array -> float array
+(** [utilization steps] is the fraction of steps each machine spent
+    non-idle (assignments to completed jobs count as busy — they occupy
+    the machine). *)
+
+val job_symbol : int -> char
+(** [job_symbol j] is the character used for job [j] ([0-9a-zA-Z],
+    cycling). *)

@@ -1,0 +1,33 @@
+let makespans ?cap ?domains inst ~policy ~seed ~reps =
+  if reps <= 0 then invalid_arg "Parallel.makespans: reps must be positive";
+  let domains =
+    match domains with
+    | Some d when d <= 0 ->
+        invalid_arg "Parallel.makespans: domains must be positive"
+    | Some d -> min d reps
+    | None -> min (Domain.recommended_domain_count ()) reps
+  in
+  let rngs = Runner.rep_rngs ~seed ~reps in
+  let results = Array.make reps 0.0 in
+  let n = Suu_core.Instance.n inst in
+  (* Static block partition: domain d owns replications [lo, hi). *)
+  let worker d () =
+    let pol = policy () in
+    let lo = d * reps / domains and hi = (d + 1) * reps / domains in
+    for k = lo to hi - 1 do
+      let trace_rng, policy_rng = rngs.(k) in
+      let trace = Trace.draw ~n trace_rng in
+      results.(k) <-
+        float_of_int (Engine.makespan ?cap inst pol ~trace ~rng:policy_rng)
+    done
+  in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  results
+
+let expected_makespan ?cap ?domains inst ~policy ~seed ~reps =
+  let xs = makespans ?cap ?domains inst ~policy ~seed ~reps in
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int reps

@@ -1,0 +1,36 @@
+(** Multicore replication (OCaml 5 domains).
+
+    Replications are embarrassingly parallel: each runs an independent
+    trace.  This module fans the per-replication work of {!Runner} out
+    over domains, with bit-identical results: the per-replication
+    generators come from {!Runner.rep_rngs}, so
+    [Parallel.makespans ~domains:k] equals [Runner.makespans] for every
+    [k].
+
+    Policies are created per domain through a factory, because a policy
+    value may close over scratch buffers that are not safe to share
+    (e.g. the greedy baselines' per-step arrays, or SUU-C's stats
+    sink). *)
+
+val makespans :
+  ?cap:int ->
+  ?domains:int ->
+  Suu_core.Instance.t ->
+  policy:(unit -> Suu_core.Policy.t) ->
+  seed:int ->
+  reps:int ->
+  float array
+(** [makespans inst ~policy ~seed ~reps] runs [reps] executions across
+    [domains] domains (default: [Domain.recommended_domain_count],
+    capped at [reps]).  [policy ()] is called once per domain.  Raises
+    [Invalid_argument] on non-positive [reps] or [domains]. *)
+
+val expected_makespan :
+  ?cap:int ->
+  ?domains:int ->
+  Suu_core.Instance.t ->
+  policy:(unit -> Suu_core.Policy.t) ->
+  seed:int ->
+  reps:int ->
+  float
+(** Mean of {!makespans}. *)

@@ -1,0 +1,30 @@
+(** Replication harness: repeated executions over independent traces.
+
+    Seeds are derived deterministically, so any experiment is reproducible
+    from [(instance, policy, seed, reps)]; when several policies are run
+    with the same seed they see *identical* traces (paired comparison, as
+    in the paper's offline/online argument). *)
+
+val makespans :
+  ?cap:int -> Suu_core.Instance.t -> Suu_core.Policy.t -> seed:int -> reps:int ->
+  float array
+(** [makespans inst policy ~seed ~reps] runs [reps] independent
+    executions and returns their makespans. *)
+
+val expected_makespan :
+  ?cap:int -> Suu_core.Instance.t -> Suu_core.Policy.t -> seed:int -> reps:int ->
+  float
+(** Mean of {!makespans}. *)
+
+val ratio_to_bound :
+  ?cap:int -> Suu_core.Instance.t -> Suu_core.Policy.t -> bound:float -> seed:int ->
+  reps:int -> float
+(** [ratio_to_bound inst policy ~bound] is
+    [expected_makespan / max bound 1e-9] — the measured approximation
+    ratio against a lower bound. *)
+
+val rep_rngs :
+  seed:int -> reps:int -> (Suu_prng.Rng.t * Suu_prng.Rng.t) array
+(** [rep_rngs ~seed ~reps] derives the per-replication
+    [(trace_rng, policy_rng)] pairs in the canonical order — shared with
+    {!Parallel} so parallel and sequential runs see identical traces. *)

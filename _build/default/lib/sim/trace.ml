@@ -1,0 +1,19 @@
+type t = { w : float array }
+
+let draw ~n rng =
+  let w =
+    Array.init n (fun _ ->
+        -.(log (Suu_prng.Rng.uniform_open rng) /. log 2.0))
+  in
+  { w }
+
+let of_thresholds w =
+  Array.iter
+    (fun x ->
+      if not (x >= 0.0) then
+        invalid_arg "Trace.of_thresholds: negative threshold")
+    w;
+  { w = Array.copy w }
+
+let n t = Array.length t.w
+let threshold t j = t.w.(j)

@@ -1,0 +1,36 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let ols ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Fit.ols: length mismatch";
+  if n < 2 then invalid_arg "Fit.ols: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0.0 xs in
+  let sy = Array.fold_left ( +. ) 0.0 ys in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  let slope = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy = 0.0 then 1.0
+    else
+      let ss_res = ref 0.0 in
+      for i = 0 to n - 1 do
+        let e = ys.(i) -. ((slope *. xs.(i)) +. intercept) in
+        ss_res := !ss_res +. (e *. e)
+      done;
+      1.0 -. (!ss_res /. !syy)
+  in
+  { slope; intercept; r2 }
+
+let fit_against ~f ~xs ~ys = ols ~xs:(Array.map f xs) ~ys
+
+let log2 x = log x /. log 2.0
+
+let loglog2 x = log2 (Float.max 2.0 (log2 x))

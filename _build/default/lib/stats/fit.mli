@@ -1,0 +1,27 @@
+(** Least-squares fits used to check asymptotic growth shapes.
+
+    The paper's Table 1 claims ratios growing like [log n] for the
+    previously-best algorithms versus [log log n] for this work's; the
+    benchmark harness fits measured ratios against candidate growth
+    functions and reports which fits best. *)
+
+type line = { slope : float; intercept : float; r2 : float }
+(** A fitted line [y = slope * x + intercept] with coefficient of
+    determination [r2] (1 when n < 3 or the fit is exact). *)
+
+val ols : xs:float array -> ys:float array -> line
+(** [ols ~xs ~ys] is the ordinary-least-squares line.  Raises
+    [Invalid_argument] when lengths differ or fewer than two points are
+    given. *)
+
+val fit_against : f:(float -> float) -> xs:float array -> ys:float array -> line
+(** [fit_against ~f ~xs ~ys] fits [y = a * f(x) + b], returning the line in
+    transformed coordinates; its [r2] measures how well growth [f]
+    explains the data. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val loglog2 : float -> float
+(** [loglog2 x] is [log2 (max 2 (log2 x))], the doubly-logarithmic growth
+    candidate (clamped to stay defined for small x). *)

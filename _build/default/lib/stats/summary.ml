@@ -1,0 +1,53 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  (* Welford's online mean/variance. *)
+  let mean = ref 0.0 and m2 = ref 0.0 in
+  let mn = ref xs.(0) and mx = ref xs.(0) in
+  Array.iteri
+    (fun i x ->
+      let k = float_of_int (i + 1) in
+      let delta = x -. !mean in
+      mean := !mean +. (delta /. k);
+      m2 := !m2 +. (delta *. (x -. !mean));
+      if x < !mn then mn := x;
+      if x > !mx then mx := x)
+    xs;
+  let var = if n > 1 then !m2 /. float_of_int (n - 1) else 0.0 in
+  let stddev = sqrt var in
+  let ci95 =
+    if n > 1 then 1.96 *. stddev /. sqrt (float_of_int n) else Float.nan
+  in
+  { n; mean = !mean; stddev; ci95; min = !mn; max = !mx }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Summary.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let pp fmt t =
+  Format.fprintf fmt "%.4g ± %.2g (n=%d)" t.mean t.ci95 t.n

@@ -1,0 +1,26 @@
+(** Summary statistics for experiment replications. *)
+
+type t = {
+  n : int;  (** number of samples *)
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci95 : float;  (** normal-approximation 95% half-width of the mean *)
+  min : float;
+  max : float;
+}
+
+val of_array : float array -> t
+(** [of_array xs] summarizes [xs].  Raises [Invalid_argument] on an empty
+    array.  Uses Welford's single-pass algorithm for numerical stability. *)
+
+val of_list : float list -> t
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile of [xs] for [q] in [0,1], by linear
+    interpolation between order statistics.  Does not mutate [xs]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints ["mean ± ci95 (n=..)"]. *)

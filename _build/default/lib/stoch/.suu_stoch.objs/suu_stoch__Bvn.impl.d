@@ -1,0 +1,1 @@
+lib/stoch/bvn.ml: Array Float List Suu_flow

@@ -1,0 +1,1 @@
+lib/stoch/bvn.mli:

@@ -1,0 +1,1 @@
+lib/stoch/ll_lp.ml: Array Float Hashtbl Stoch_instance Suu_lp

@@ -1,0 +1,1 @@
+lib/stoch/ll_lp.mli: Stoch_instance

@@ -1,0 +1,1 @@
+lib/stoch/lst.ml: Array Float Fun Hashtbl List Suu_flow Suu_lp

@@ -1,0 +1,1 @@
+lib/stoch/lst.mli:

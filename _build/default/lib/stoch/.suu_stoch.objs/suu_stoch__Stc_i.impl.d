@@ -1,0 +1,1 @@
+lib/stoch/stc_i.ml: Array Bvn Float Fun Int64 List Ll_lp Stoch_instance Suu_prng

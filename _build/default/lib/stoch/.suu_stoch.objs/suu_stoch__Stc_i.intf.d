@@ -1,0 +1,1 @@
+lib/stoch/stc_i.mli: Stoch_instance

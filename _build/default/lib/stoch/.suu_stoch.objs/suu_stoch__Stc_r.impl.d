@@ -1,0 +1,1 @@
+lib/stoch/stc_r.ml: Array Float Fun Int64 List Ll_lp Lst Stc_i Stoch_instance Suu_prng

@@ -1,0 +1,1 @@
+lib/stoch/stc_r.mli: Stoch_instance

@@ -1,0 +1,1 @@
+lib/stoch/stoch_instance.ml: Array

@@ -1,0 +1,97 @@
+type slice = { duration : float; assign : int array }
+
+let tol = 1e-9
+
+(* Pad the m x n timetable to an (m+n) x (n+m) square matrix with all row
+   and column sums equal to [horizon]: machine i's idle time goes to dummy
+   job n+i, job j's un-served time to dummy machine m+j, and the
+   dummy-dummy block absorbs the rest greedily. *)
+let pad ~m ~n ~x ~horizon =
+  let s = m + n in
+  let b = Array.make_matrix s s 0.0 in
+  let row_deficit = Array.make s 0.0 in
+  let col_deficit = Array.make s 0.0 in
+  for i = 0 to m - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      b.(i).(j) <- x.(i).(j);
+      sum := !sum +. x.(i).(j)
+    done;
+    if !sum > horizon *. (1.0 +. 1e-6) +. 1e-9 then
+      invalid_arg "Bvn.decompose: machine row exceeds horizon";
+    b.(i).(n + i) <- Float.max 0.0 (horizon -. !sum)
+  done;
+  for j = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for i = 0 to m - 1 do
+      sum := !sum +. x.(i).(j)
+    done;
+    if !sum > horizon *. (1.0 +. 1e-6) +. 1e-9 then
+      invalid_arg "Bvn.decompose: job column exceeds horizon";
+    b.(m + j).(j) <- Float.max 0.0 (horizon -. !sum)
+  done;
+  (* Remaining deficits live entirely in the dummy-dummy block. *)
+  for r = 0 to s - 1 do
+    let sum = ref 0.0 in
+    for c = 0 to s - 1 do
+      sum := !sum +. b.(r).(c)
+    done;
+    row_deficit.(r) <- Float.max 0.0 (horizon -. !sum)
+  done;
+  for c = 0 to s - 1 do
+    let sum = ref 0.0 in
+    for r = 0 to s - 1 do
+      sum := !sum +. b.(r).(c)
+    done;
+    col_deficit.(c) <- Float.max 0.0 (horizon -. !sum)
+  done;
+  (* Northwest-corner fill over dummy rows x dummy columns. *)
+  let r = ref m and c = ref n in
+  while !r < s && !c < s do
+    let amount = Float.min row_deficit.(!r) col_deficit.(!c) in
+    if amount > tol then begin
+      b.(!r).(!c) <- b.(!r).(!c) +. amount;
+      row_deficit.(!r) <- row_deficit.(!r) -. amount;
+      col_deficit.(!c) <- col_deficit.(!c) -. amount
+    end;
+    if row_deficit.(!r) <= tol then incr r else incr c
+  done;
+  b
+
+let decompose ~m ~n ~x ~horizon =
+  if horizon <= 0.0 then invalid_arg "Bvn.decompose: non-positive horizon";
+  let s = m + n in
+  let b = pad ~m ~n ~x ~horizon in
+  let slices = ref [] in
+  let remaining = ref (horizon *. float_of_int s) in
+  let continue = ref true in
+  while !continue && !remaining > horizon *. 1e-9 *. float_of_int s do
+    (* Perfect matching over positive entries (exists by Birkhoff while
+       the matrix is doubly stochastic). *)
+    let adj r =
+      let acc = ref [] in
+      for c = s - 1 downto 0 do
+        if b.(r).(c) > tol then acc := c :: !acc
+      done;
+      !acc
+    in
+    let match_l, _ = Suu_flow.Matching.maximum ~left:s ~right:s ~adj in
+    if not (Suu_flow.Matching.is_perfect_on_left match_l) then
+      continue := false (* numerical dust only; stop *)
+    else begin
+      let delta = ref infinity in
+      for r = 0 to s - 1 do
+        if b.(r).(match_l.(r)) < !delta then delta := b.(r).(match_l.(r))
+      done;
+      let assign = Array.make m (-1) in
+      for i = 0 to m - 1 do
+        if match_l.(i) < n then assign.(i) <- match_l.(i)
+      done;
+      slices := { duration = !delta; assign } :: !slices;
+      for r = 0 to s - 1 do
+        b.(r).(match_l.(r)) <- b.(r).(match_l.(r)) -. !delta;
+        remaining := !remaining -. !delta
+      done
+    end
+  done;
+  List.rev !slices

@@ -1,0 +1,24 @@
+(** Birkhoff–von-Neumann-style slice decomposition of a fractional
+    timetable into an explicit preemptive schedule.
+
+    Given machine-on-job times [x_ij] with every machine's total and every
+    job's total at most a horizon [C], the matrix extends (with idle
+    dummies) to a doubly stochastic one; Birkhoff's theorem peels it into
+    matchings.  Each matching becomes a schedule {e slice}: for its
+    duration, each machine works on at most one job and each job is worked
+    by at most one machine.  Total slice duration is at most [C] (up to
+    padding roundoff), realizing the Lawler–Labetoulle makespan. *)
+
+type slice = {
+  duration : float;
+  assign : int array;  (** per machine: job index, or -1 for idle *)
+}
+
+val decompose :
+  m:int -> n:int -> x:float array array -> horizon:float -> slice list
+(** [decompose ~m ~n ~x ~horizon] peels the timetable into slices.
+    Requires row sums and column sums at most [horizon] (within 1e-6
+    relative tolerance; raises [Invalid_argument] otherwise).  The result
+    satisfies: for every [(i, j)], the summed duration of slices assigning
+    [j] to [i] equals [x.(i).(j)] up to 1e-6, and slice durations sum to
+    at most [horizon * (1 + 1e-6)]. *)

@@ -1,0 +1,59 @@
+type sol = { x : float array array; value : float }
+
+let solve inst ~lengths ~jobs =
+  if Array.length jobs = 0 then invalid_arg "Ll_lp.solve: no jobs";
+  let m = Stoch_instance.m inst in
+  let n = Stoch_instance.n inst in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n then invalid_arg "Ll_lp.solve: job out of range";
+      if not (lengths.(j) > 0.0) then
+        invalid_arg "Ll_lp.solve: lengths must be positive")
+    jobs;
+  let p = Suu_lp.Problem.create ~name:"ll" () in
+  let c_var = Suu_lp.Problem.add_var ~obj:1.0 p in
+  let xvar = Hashtbl.create (m * Array.length jobs) in
+  Array.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        if Stoch_instance.speed inst i j > 0.0 then
+          Hashtbl.add xvar (i, j) (Suu_lp.Problem.add_var p)
+      done)
+    jobs;
+  (* Coverage: enough work done on each job. *)
+  Array.iter
+    (fun j ->
+      let terms = ref [] in
+      for i = 0 to m - 1 do
+        match Hashtbl.find_opt xvar (i, j) with
+        | Some v -> terms := (v, Stoch_instance.speed inst i j) :: !terms
+        | None -> ()
+      done;
+      Suu_lp.Problem.add_constraint p !terms Suu_lp.Problem.Ge lengths.(j))
+    jobs;
+  (* Machine loads. *)
+  for i = 0 to m - 1 do
+    let terms = ref [ (c_var, -1.0) ] in
+    Array.iter
+      (fun j ->
+        match Hashtbl.find_opt xvar (i, j) with
+        | Some v -> terms := (v, 1.0) :: !terms
+        | None -> ())
+      jobs;
+    Suu_lp.Problem.add_constraint p !terms Suu_lp.Problem.Le 0.0
+  done;
+  (* No job on two machines at once: total time per job <= C. *)
+  Array.iter
+    (fun j ->
+      let terms = ref [ (c_var, -1.0) ] in
+      for i = 0 to m - 1 do
+        match Hashtbl.find_opt xvar (i, j) with
+        | Some v -> terms := (v, 1.0) :: !terms
+        | None -> ()
+      done;
+      Suu_lp.Problem.add_constraint p !terms Suu_lp.Problem.Le 0.0)
+    jobs;
+  let value, sol = Suu_lp.Simplex.solve_exn p in
+  let x = Array.make_matrix m n 0.0 in
+  Hashtbl.iter (fun (i, j) v -> x.(i).(j) <- Float.max 0.0 sol.(v)) xvar;
+  { x; value }

@@ -1,0 +1,27 @@
+(** The Lawler–Labetoulle linear program for [R|pmtn|Cmax].
+
+    For deterministic lengths [p_j]:
+
+    {v
+      minimize   C
+      subject to sum_i v_ij x_ij >= p_j   for every job j
+                 sum_j x_ij      <= C     for every machine i
+                 sum_i x_ij      <= C     for every job j
+                 x_ij >= 0
+    v}
+
+    Lawler and Labetoulle proved the optimum *is* the optimal preemptive
+    makespan and that a feasible [x] can be realized as an explicit
+    preemptive schedule ({!Bvn.decompose}).  STC-I solves this once per
+    round with lengths [2^(k-2) / lambda_j]. *)
+
+type sol = {
+  x : float array array;  (** [x.(i).(j)]: time machine [i] spends on [j] *)
+  value : float;  (** the optimal makespan [C] *)
+}
+
+val solve : Stoch_instance.t -> lengths:float array -> jobs:int array -> sol
+(** [solve inst ~lengths ~jobs] solves the LP restricted to [jobs]
+    (entries elsewhere are zero).  [lengths.(j)] must be positive for
+    [j] in [jobs].  Raises [Invalid_argument] on bad input, [Failure] if
+    the LP solver fails. *)

@@ -1,0 +1,134 @@
+type schedule = {
+  machine_of_job : int array;
+  makespan : float;
+  lp_bound : float;
+}
+
+(* Minimum fractional max-load when each job may only use machines with
+   [p_ij <= limit]; [None] when some job has no allowed machine. *)
+let assignment_lp ~m ~n ~p ~limit =
+  let allowed j =
+    List.filter (fun i -> p i j <= limit) (List.init m Fun.id)
+  in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    if allowed j = [] then ok := false
+  done;
+  if not !ok then None
+  else begin
+    let prob = Suu_lp.Problem.create ~name:"lst" () in
+    let t = Suu_lp.Problem.add_var ~obj:1.0 prob in
+    let xvar = Hashtbl.create (m * n) in
+    for j = 0 to n - 1 do
+      List.iter
+        (fun i -> Hashtbl.add xvar (i, j) (Suu_lp.Problem.add_var prob))
+        (allowed j)
+    done;
+    for j = 0 to n - 1 do
+      let terms =
+        List.map (fun i -> (Hashtbl.find xvar (i, j), 1.0)) (allowed j)
+      in
+      Suu_lp.Problem.add_constraint prob terms Suu_lp.Problem.Eq 1.0
+    done;
+    for i = 0 to m - 1 do
+      let terms = ref [ (t, -1.0) ] in
+      for j = 0 to n - 1 do
+        match Hashtbl.find_opt xvar (i, j) with
+        | Some v -> terms := (v, p i j) :: !terms
+        | None -> ()
+      done;
+      Suu_lp.Problem.add_constraint prob !terms Suu_lp.Problem.Le 0.0
+    done;
+    let value, sol = Suu_lp.Simplex.solve_exn prob in
+    let x = Array.make_matrix m n 0.0 in
+    Hashtbl.iter (fun (i, j) v -> x.(i).(j) <- Float.max 0.0 sol.(v)) xvar;
+    Some (value, x)
+  end
+
+(* Round a vertex solution: integral jobs keep their machine; fractional
+   jobs are matched into machines (LST's pseudo-forest argument).  Any
+   job the matching misses — possible only through numerical degeneracy —
+   falls back to its largest fractional machine. *)
+let round ~m ~n ~x =
+  let machine_of_job = Array.make n (-1) in
+  let fractional = ref [] in
+  for j = 0 to n - 1 do
+    let best = ref (-1) in
+    for i = 0 to m - 1 do
+      if x.(i).(j) > 0.999 then best := i
+    done;
+    if !best >= 0 then machine_of_job.(j) <- !best
+    else fractional := j :: !fractional
+  done;
+  let fractional = Array.of_list (List.rev !fractional) in
+  let k = Array.length fractional in
+  if k > 0 then begin
+    let adj idx =
+      let j = fractional.(idx) in
+      let acc = ref [] in
+      for i = m - 1 downto 0 do
+        if x.(i).(j) > 1e-9 then acc := i :: !acc
+      done;
+      !acc
+    in
+    let match_l, _ = Suu_flow.Matching.maximum ~left:k ~right:m ~adj in
+    Array.iteri
+      (fun idx i ->
+        let j = fractional.(idx) in
+        if i >= 0 then machine_of_job.(j) <- i
+        else begin
+          let best = ref 0 in
+          for i' = 1 to m - 1 do
+            if x.(i').(j) > x.(!best).(j) then best := i'
+          done;
+          machine_of_job.(j) <- !best
+        end)
+      match_l
+  end;
+  machine_of_job
+
+let schedule ~m ~n ~p ~eps =
+  if m <= 0 || n <= 0 then invalid_arg "Lst.schedule: empty instance";
+  if eps <= 0.0 then invalid_arg "Lst.schedule: eps must be positive";
+  (* Bounds for the binary search. *)
+  let best j =
+    let v = ref infinity in
+    for i = 0 to m - 1 do
+      if p i j < !v then v := p i j
+    done;
+    if not (Float.is_finite !v) then
+      invalid_arg "Lst.schedule: job with no runnable machine";
+    !v
+  in
+  let lo = ref 0.0 and hi = ref 0.0 in
+  for j = 0 to n - 1 do
+    let b = best j in
+    if b > !lo then lo := b;
+    hi := !hi +. b
+  done;
+  let lo = ref (Float.max !lo 1e-12) and hi = ref (Float.max !hi 1e-12) in
+  (* Smallest T (within eps) with fractional max-load <= T. *)
+  let witness = ref None in
+  let record limit =
+    match assignment_lp ~m ~n ~p ~limit with
+    | Some (value, x) when value <= limit *. (1.0 +. 1e-9) ->
+        witness := Some (limit, x);
+        true
+    | _ -> false
+  in
+  if not (record !hi) then
+    invalid_arg "Lst.schedule: upper bound not feasible (internal)";
+  while !hi > !lo *. (1.0 +. eps) do
+    let mid = sqrt (!lo *. !hi) in
+    if record mid then hi := mid else lo := mid
+  done;
+  let lp_bound, x =
+    match !witness with Some w -> w | None -> assert false
+  in
+  let machine_of_job = round ~m ~n ~x in
+  let load = Array.make m 0.0 in
+  Array.iteri
+    (fun j i -> load.(i) <- load.(i) +. p i j)
+    machine_of_job;
+  let makespan = Array.fold_left Float.max 0.0 load in
+  { machine_of_job; makespan; lp_bound }

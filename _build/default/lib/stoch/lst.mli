@@ -1,0 +1,29 @@
+(** Lenstra–Shmoys–Tardos 2-approximation for [R||Cmax]
+    (the paper's reference [10]).
+
+    Appendix C notes that substituting an [R||Cmax] schedule for the
+    preemptive [R|pmtn|Cmax] one in each STC round handles the weaker
+    {e restart} model, where a job must run to completion on a single
+    machine but may be restarted elsewhere.  The classic LST scheme:
+    binary-search the target makespan [T]; for each candidate, solve the
+    assignment LP restricted to pairs with [p_ij <= T]; at a vertex
+    solution the fractionally-assigned jobs form a pseudo-forest with the
+    machines, so a matching places each of them whole on some machine,
+    adding at most one job (hence at most [T]) per machine — a schedule of
+    makespan at most [2T]. *)
+
+type schedule = {
+  machine_of_job : int array;  (** the machine each job runs on, whole *)
+  makespan : float;  (** max machine load of the integral assignment *)
+  lp_bound : float;
+      (** the smallest LP-feasible target found; optimal makespan is
+          >= this value (up to the search's [eps]) *)
+}
+
+val schedule :
+  m:int -> n:int -> p:(int -> int -> float) -> eps:float -> schedule
+(** [schedule ~m ~n ~p ~eps] assigns every job to one machine with
+    makespan at most [2 (1 + eps)] times the optimum.  [p i j] is the
+    full processing time of job [j] on machine [i] ([infinity] when the
+    machine cannot run it; every job needs one finite entry).
+    Raises [Invalid_argument] on empty input or an unrunnable job. *)

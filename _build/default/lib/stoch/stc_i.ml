@@ -1,0 +1,90 @@
+type run = { makespan : float; offline : float }
+
+let rounds inst =
+  let n = Stoch_instance.n inst in
+  let loglog =
+    if n < 2 then 0.0
+    else
+      let l2 x = log x /. log 2.0 in
+      l2 (Float.max 1.0 (l2 (float_of_int n)))
+  in
+  max 4 (int_of_float (ceil loglog) + 3)
+
+(* Execute a list of slices against the realized lengths, stopping as
+   soon as every job in scope is done.  Returns elapsed time. *)
+let execute_slices inst ~slices ~p ~work ~remaining =
+  let m = Stoch_instance.m inst in
+  let elapsed = ref 0.0 in
+  let rec go = function
+    | [] -> ()
+    | slice :: rest ->
+        if Array.for_all not remaining then ()
+        else begin
+          let { Bvn.duration; assign } = slice in
+          if duration > 0.0 then begin
+            (* Within the slice, each (machine, job) pair works alone.  A
+               job may finish mid-slice; the rest of its machine's slice
+               is wasted (harmless for the makespan bound). *)
+            for i = 0 to m - 1 do
+              let j = assign.(i) in
+              if j >= 0 && remaining.(j) then begin
+                work.(j) <-
+                  work.(j) +. (Stoch_instance.speed inst i j *. duration);
+                if work.(j) >= p.(j) -. 1e-12 then remaining.(j) <- false
+              end
+            done;
+            elapsed := !elapsed +. duration
+          end;
+          go rest
+        end
+  in
+  go slices;
+  !elapsed
+
+let simulate inst ~seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let n = Stoch_instance.n inst in
+  let m = Stoch_instance.m inst in
+  let p =
+    Array.init n (fun j ->
+        Suu_prng.Rng.exponential rng ~rate:(Stoch_instance.rate inst j))
+  in
+  let offline =
+    let jobs = Array.init n Fun.id in
+    (Ll_lp.solve inst ~lengths:p ~jobs).Ll_lp.value
+  in
+  let remaining = Array.make n true in
+  let work = Array.make n 0.0 in
+  let time = ref 0.0 in
+  let k_max = rounds inst in
+  let k = ref 1 in
+  while Array.exists Fun.id remaining && !k <= k_max do
+    let survivors =
+      Array.of_list
+        (List.filter (fun j -> remaining.(j)) (List.init n Fun.id))
+    in
+    let lengths =
+      Array.init n (fun j ->
+          Float.pow 2.0 (float_of_int (!k - 2)) /. Stoch_instance.rate inst j)
+    in
+    let { Ll_lp.x; value } = Ll_lp.solve inst ~lengths ~jobs:survivors in
+    let slices = Bvn.decompose ~m ~n ~x ~horizon:value in
+    time := !time +. execute_slices inst ~slices ~p ~work ~remaining;
+    incr k
+  done;
+  (* Tail: survivors run one after another on their fastest machine. *)
+  for j = 0 to n - 1 do
+    if remaining.(j) then begin
+      let i = Stoch_instance.fastest_machine inst j in
+      time := !time +. ((p.(j) -. work.(j)) /. Stoch_instance.speed inst i j);
+      remaining.(j) <- false
+    end
+  done;
+  { makespan = !time; offline }
+
+let runs inst ~seed ~reps =
+  if reps <= 0 then invalid_arg "Stc_i.runs: reps must be positive";
+  let master = Suu_prng.Rng.create ~seed in
+  Array.init reps (fun _ ->
+      let s = Int64.to_int (Suu_prng.Rng.bits64 master) in
+      simulate inst ~seed:s)

@@ -1,0 +1,29 @@
+(** STC-I: the O(log log n)-approximation for stochastic scheduling on
+    unrelated machines (paper Appendix C, Theorem 13).
+
+    The schedule runs [K = ceil(log log n) + 3] rounds.  Round [k] solves
+    the deterministic [R|pmtn|Cmax] instance with lengths
+    [2^(k-2) / lambda_j] on the surviving jobs (via {!Ll_lp} and
+    {!Bvn.decompose}) and executes the resulting preemptive schedule; any
+    job whose realized exponential length is at most its round target
+    completes.  Jobs remaining after round [K] run sequentially on their
+    fastest machines.
+
+    Also includes the continuous-time simulator for this setting and the
+    per-trace offline bound [LL-LP(p)] — the optimal preemptive makespan
+    had the lengths been known — used to measure approximation ratios. *)
+
+type run = {
+  makespan : float;
+  offline : float;  (** LL-LP optimum on the realized lengths *)
+}
+
+val simulate : Stoch_instance.t -> seed:int -> run
+(** [simulate inst ~seed] draws [p_j ~ Exp(lambda_j)] and executes one
+    STC-I schedule.  Rounds stop early once all jobs are complete. *)
+
+val runs : Stoch_instance.t -> seed:int -> reps:int -> run array
+(** Independent replications (seeds derived from [seed]). *)
+
+val rounds : Stoch_instance.t -> int
+(** The round count [K]. *)

@@ -1,0 +1,63 @@
+type run = { makespan : float; offline : float }
+
+let simulate inst ~seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let n = Stoch_instance.n inst in
+  let m = Stoch_instance.m inst in
+  let p =
+    Array.init n (fun j ->
+        Suu_prng.Rng.exponential rng ~rate:(Stoch_instance.rate inst j))
+  in
+  let offline =
+    let jobs = Array.init n Fun.id in
+    (Ll_lp.solve inst ~lengths:p ~jobs).Ll_lp.value
+  in
+  let remaining = Array.make n true in
+  let time = ref 0.0 in
+  let k_max = Stc_i.rounds inst in
+  let k = ref 1 in
+  while Array.exists Fun.id remaining && !k <= k_max do
+    let survivors =
+      Array.of_list
+        (List.filter (fun j -> remaining.(j)) (List.init n Fun.id))
+    in
+    let ns = Array.length survivors in
+    let target j =
+      Float.pow 2.0 (float_of_int (!k - 2)) /. Stoch_instance.rate inst j
+    in
+    (* Full processing times under the round's deterministic lengths. *)
+    let proc i jj =
+      let j = survivors.(jj) in
+      let v = Stoch_instance.speed inst i j in
+      if v <= 0.0 then infinity else target j /. v
+    in
+    let lst = Lst.schedule ~m ~n:ns ~p:proc ~eps:0.05 in
+    (* Each machine runs its jobs back to back; a job occupies
+       min(p_j, L_k) / v_ij time (it completes, or the round's budget for
+       it runs out). *)
+    let busy = Array.make m 0.0 in
+    Array.iteri
+      (fun jj i ->
+        let j = survivors.(jj) in
+        let v = Stoch_instance.speed inst i j in
+        busy.(i) <- busy.(i) +. (Float.min p.(j) (target j) /. v);
+        if p.(j) <= target j then remaining.(j) <- false)
+      lst.Lst.machine_of_job;
+    time := !time +. Array.fold_left Float.max 0.0 busy;
+    incr k
+  done;
+  for j = 0 to n - 1 do
+    if remaining.(j) then begin
+      let i = Stoch_instance.fastest_machine inst j in
+      time := !time +. (p.(j) /. Stoch_instance.speed inst i j);
+      remaining.(j) <- false
+    end
+  done;
+  { makespan = !time; offline }
+
+let runs inst ~seed ~reps =
+  if reps <= 0 then invalid_arg "Stc_r.runs: reps must be positive";
+  let master = Suu_prng.Rng.create ~seed in
+  Array.init reps (fun _ ->
+      let s = Int64.to_int (Suu_prng.Rng.bits64 master) in
+      simulate inst ~seed:s)

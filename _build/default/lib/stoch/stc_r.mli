@@ -1,0 +1,27 @@
+(** STC-R: the restart-model variant of STC-I (paper Appendix C).
+
+    In [R|restart, p_j ~ stoch|E[Cmax]] a job must run to completion on a
+    single machine, but an unfinished job may be {e restarted} (from
+    scratch, with the same realized length) on a different machine.  The
+    paper: "The only necessary change to the algorithm is to substitute
+    the kth round with the corresponding solution to [R||Cmax], in lieu of
+    [R|pmtn|Cmax]" — that substitution is {!Lst}.
+
+    Round [k] LST-schedules the survivors with deterministic lengths
+    [2^(k-2) / lambda_j]; each machine runs its assigned jobs back to
+    back, spending [min(p_j, L_k) / v_ij] on job [j] (it stops at the
+    job's completion, or gives up once [L_k] worth of work is done).
+    Survivors of round [K] run sequentially on their fastest machines. *)
+
+type run = {
+  makespan : float;
+  offline : float;
+      (** the Lawler–Labetoulle optimum on the realized lengths — a valid
+          lower bound, since preemptive schedules subsume restarts *)
+}
+
+val simulate : Stoch_instance.t -> seed:int -> run
+(** One execution on freshly drawn exponential lengths. *)
+
+val runs : Stoch_instance.t -> seed:int -> reps:int -> run array
+(** Independent replications. *)

@@ -1,0 +1,50 @@
+type t = {
+  sname : string;
+  rates : float array;
+  speeds : float array array;
+  fastest : int array;
+}
+
+let make ?(name = "stoch") ~rates speeds =
+  let m = Array.length speeds in
+  if m = 0 then invalid_arg "Stoch_instance.make: no machines";
+  let n = Array.length rates in
+  if n = 0 then invalid_arg "Stoch_instance.make: no jobs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Stoch_instance.make: ragged speed matrix";
+      Array.iter
+        (fun v ->
+          if not (v >= 0.0) then
+            invalid_arg "Stoch_instance.make: negative speed")
+        row)
+    speeds;
+  Array.iter
+    (fun l ->
+      if not (l > 0.0) then
+        invalid_arg "Stoch_instance.make: rates must be positive")
+    rates;
+  let fastest = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let b = ref 0 in
+    for i = 1 to m - 1 do
+      if speeds.(i).(j) > speeds.(!b).(j) then b := i
+    done;
+    if speeds.(!b).(j) <= 0.0 then
+      invalid_arg "Stoch_instance.make: job with no usable machine";
+    fastest.(j) <- !b
+  done;
+  {
+    sname = name;
+    rates = Array.copy rates;
+    speeds = Array.map Array.copy speeds;
+    fastest;
+  }
+
+let name t = t.sname
+let n t = Array.length t.rates
+let m t = Array.length t.speeds
+let rate t j = t.rates.(j)
+let speed t i j = t.speeds.(i).(j)
+let fastest_machine t j = t.fastest.(j)

@@ -1,0 +1,30 @@
+(** Stochastic-scheduling instances (paper Appendix C).
+
+    [R|pmtn, p_j ~ stoch|E[Cmax]]: job [j]'s length [p_j] is exponential
+    with known rate [lambda_j] (revealed only on completion); machine [i]
+    processes job [j] at speed [v_ij]; a job completes when
+    [sum_i x_ij v_ij >= p_j] over the time [x_ij] spent on it.  Time is
+    continuous, preemption is free, but no job may run on two machines at
+    once. *)
+
+type t
+
+val make : ?name:string -> rates:float array -> float array array -> t
+(** [make ~rates speeds] builds an instance from [lambda_j] ([rates])
+    and the [m x n] speed matrix.  Raises [Invalid_argument] on
+    non-positive rates, negative speeds, ragged input, or a job with no
+    positive-speed machine. *)
+
+val name : t -> string
+
+val n : t -> int
+(** Number of jobs. *)
+
+val m : t -> int
+(** Number of machines. *)
+
+val rate : t -> int -> float
+val speed : t -> int -> int -> float
+
+val fastest_machine : t -> int -> int
+(** Machine with the largest [v_ij] for job [j]. *)

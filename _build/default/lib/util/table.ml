@@ -1,0 +1,59 @@
+type t = {
+  header : string array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ~header = { header = Array.of_list header; rows = [] }
+
+let fmt_g x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let add_row t cells =
+  let k = Array.length t.header in
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  if n > k then invalid_arg "Table.add_row: more cells than columns";
+  let row = Array.make k "" in
+  Array.blit cells 0 row 0 n;
+  t.rows <- row :: t.rows
+
+let add_float_row t label xs = add_row t (label :: List.map fmt_g xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let k = Array.length t.header in
+  let width = Array.make k 0 in
+  let measure row =
+    Array.iteri (fun i c -> width.(i) <- max width.(i) (String.length c)) row
+  in
+  measure t.header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let pad i c =
+    let w = width.(i) in
+    let s = String.length c in
+    if i = 0 then c ^ String.make (w - s) ' '
+    else String.make (w - s) ' ' ^ c
+  in
+  let emit row =
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    width;
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

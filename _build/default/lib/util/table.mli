@@ -1,0 +1,31 @@
+(** ASCII tables for experiment output.
+
+    The benchmark harness prints each reproduced paper table as a plain
+    monospaced table; this module renders headers, alignment and rules. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : header:string list -> t
+(** [create ~header] starts a table whose columns are labelled by
+    [header]. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row.  Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row with first cell [label] and the
+    remaining cells formatted with {!fmt_g}. *)
+
+val render : t -> string
+(** [render t] lays the table out with one space of padding, columns sized
+    to their widest cell, a rule under the header, and the first column
+    left-aligned (all others right-aligned). *)
+
+val print : t -> unit
+(** [print t] writes [render t] followed by a newline to standard output. *)
+
+val fmt_g : float -> string
+(** [fmt_g x] formats [x] compactly: ["-"] for NaN, four significant digits
+    otherwise. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Float List Printf Suu_core Suu_dag Suu_prng

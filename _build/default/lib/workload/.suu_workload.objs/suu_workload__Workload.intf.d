@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Suu_core Suu_prng

@@ -1,0 +1,182 @@
+module Rng = Suu_prng.Rng
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+type hazard =
+  | Uniform of { lo : float; hi : float }
+  | Product
+  | Volunteers of { reliable_fraction : float }
+  | Specialists of { capable : int }
+  | Near_one
+
+let hazard_name = function
+  | Uniform { lo; hi } -> Printf.sprintf "uniform[%.2g,%.2g]" lo hi
+  | Product -> "product"
+  | Volunteers { reliable_fraction } ->
+      Printf.sprintf "volunteers[%.2g]" reliable_fraction
+  | Specialists { capable } -> Printf.sprintf "specialists[%d]" capable
+  | Near_one -> "near-one"
+
+let default_hazards =
+  [
+    Uniform { lo = 0.2; hi = 0.95 };
+    Product;
+    Volunteers { reliable_fraction = 0.2 };
+    Specialists { capable = 3 };
+    Near_one;
+  ]
+
+let q_matrix hazard ~m ~n rng =
+  if m <= 0 || n <= 0 then invalid_arg "Workload.q_matrix: empty";
+  let q = Array.make_matrix m n 0.0 in
+  (match hazard with
+  | Uniform { lo; hi } ->
+      if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+        invalid_arg "Workload: bad uniform range";
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          q.(i).(j) <- Rng.range rng ~lo ~hi
+        done
+      done
+  | Product ->
+      let speed = Array.init m (fun _ -> Rng.range rng ~lo:0.3 ~hi:2.0) in
+      let ease = Array.init n (fun _ -> Rng.range rng ~lo:0.3 ~hi:2.0) in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          q.(i).(j) <- Float.pow 0.6 (speed.(i) *. ease.(j))
+        done
+      done
+  | Volunteers { reliable_fraction } ->
+      if not (0.0 < reliable_fraction && reliable_fraction <= 1.0) then
+        invalid_arg "Workload: bad reliable fraction";
+      for i = 0 to m - 1 do
+        let reliable = Rng.float rng 1.0 < reliable_fraction in
+        for j = 0 to n - 1 do
+          q.(i).(j) <-
+            (if reliable then Rng.range rng ~lo:0.05 ~hi:0.3
+             else Rng.range rng ~lo:0.7 ~hi:0.995)
+        done
+      done
+  | Specialists { capable } ->
+      if capable <= 0 then invalid_arg "Workload: capable must be positive";
+      let machines = Array.init m (fun i -> i) in
+      for j = 0 to n - 1 do
+        for i = 0 to m - 1 do
+          q.(i).(j) <- Rng.range rng ~lo:0.99 ~hi:0.999
+        done;
+        Rng.shuffle rng machines;
+        for k = 0 to min capable m - 1 do
+          q.(machines.(k)).(j) <- Rng.range rng ~lo:0.1 ~hi:0.6
+        done
+      done
+  | Near_one ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          q.(i).(j) <- Rng.range rng ~lo:0.9 ~hi:0.99
+        done
+      done);
+  (* Guarantee solvability: every job gets one sub-1 machine. *)
+  for j = 0 to n - 1 do
+    let ok = ref false in
+    for i = 0 to m - 1 do
+      if q.(i).(j) < 1.0 then ok := true
+    done;
+    if not !ok then q.(Rng.int rng m).(j) <- 0.5
+  done;
+  q
+
+let instance_name prefix hazard ~n ~m ~seed =
+  Printf.sprintf "%s-%s-n%d-m%d-s%d" prefix (hazard_name hazard) n m seed
+
+let independent hazard ~n ~m ~seed =
+  let rng = Rng.create ~seed in
+  let q = q_matrix hazard ~m ~n rng in
+  Instance.make
+    ~name:(instance_name "ind" hazard ~n ~m ~seed)
+    ~dag:(Dag.empty n) q
+
+let chains hazard ~z ~length ~m ~seed =
+  if z <= 0 || length <= 0 then invalid_arg "Workload.chains: bad shape";
+  let n = z * length in
+  let rng = Rng.create ~seed in
+  let q = q_matrix hazard ~m ~n rng in
+  let edges = ref [] in
+  for c = 0 to z - 1 do
+    for k = 1 to length - 1 do
+      let j = (c * length) + k in
+      edges := (j - 1, j) :: !edges
+    done
+  done;
+  Instance.make
+    ~name:(instance_name "chains" hazard ~n ~m ~seed)
+    ~dag:(Dag.of_edges ~n !edges)
+    q
+
+let random_chains hazard ~n ~z ~m ~seed =
+  if z <= 0 || n < z then invalid_arg "Workload.random_chains: bad shape";
+  let rng = Rng.create ~seed in
+  let q = q_matrix hazard ~m ~n rng in
+  (* Split [0, n) into z nonempty runs at z-1 random cut points. *)
+  let cuts = Array.init (z - 1) (fun _ -> 1 + Rng.int rng (n - 1)) in
+  Array.sort compare cuts;
+  let boundaries = Array.to_list cuts @ [ n ] in
+  let edges = ref [] in
+  let start = ref 0 in
+  List.iter
+    (fun stop ->
+      for j = !start + 1 to stop - 1 do
+        edges := (j - 1, j) :: !edges
+      done;
+      start := stop)
+    boundaries;
+  Instance.make
+    ~name:(instance_name "rchains" hazard ~n ~m ~seed)
+    ~dag:(Dag.of_edges ~n !edges)
+    q
+
+let forest hazard ~n ~trees ~orientation ~m ~seed =
+  if trees <= 0 || n < trees then invalid_arg "Workload.forest: bad shape";
+  let rng = Rng.create ~seed in
+  let q = q_matrix hazard ~m ~n rng in
+  (* Jobs 0..trees-1 are roots; each later job attaches to a uniformly
+     random earlier job in its (uniformly random) tree. *)
+  let members = Array.make trees [] in
+  for t = 0 to trees - 1 do
+    members.(t) <- [ t ]
+  done;
+  let edges = ref [] in
+  let flip = Array.init trees (fun t ->
+      match orientation with
+      | `Out -> false
+      | `In -> true
+      | `Mixed -> t mod 2 = 1)
+  in
+  for j = trees to n - 1 do
+    let t = Rng.int rng trees in
+    let candidates = Array.of_list members.(t) in
+    let parent = candidates.(Rng.int rng (Array.length candidates)) in
+    members.(t) <- j :: members.(t);
+    if flip.(t) then edges := (j, parent) :: !edges
+    else edges := (parent, j) :: !edges
+  done;
+  Instance.make
+    ~name:(instance_name "forest" hazard ~n ~m ~seed)
+    ~dag:(Dag.of_edges ~n !edges)
+    q
+
+let mapreduce hazard ~maps ~reduces ~m ~seed =
+  if maps <= 0 || reduces <= 0 then
+    invalid_arg "Workload.mapreduce: bad shape";
+  let n = maps + reduces in
+  let rng = Rng.create ~seed in
+  let q = q_matrix hazard ~m ~n rng in
+  let edges = ref [] in
+  for a = 0 to maps - 1 do
+    for b = maps to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  Instance.make
+    ~name:(instance_name "mapreduce" hazard ~n ~m ~seed)
+    ~dag:(Dag.of_edges ~n !edges)
+    q

@@ -1,0 +1,68 @@
+(** Synthetic SUU workloads.
+
+    The paper has no dataset — its motivation (SETI\@home volunteers,
+    MapReduce phases) guides these generators instead.  Each hazard model
+    stresses a different aspect of the algorithms:
+
+    - [Uniform]: i.i.d. failure probabilities, the baseline regime;
+    - [Product]: related machines — [q_ij = base^(speed_i * ease_j)], so
+      machines rank consistently across jobs, like hardware generations;
+    - [Volunteers]: a bimodal SETI-like pool of reliable hosts and flaky
+      ones;
+    - [Specialists]: each job runs acceptably on only a few machines and
+      nearly always fails elsewhere — the unrelated-machines regime where
+      LP-based assignment matters most;
+    - [Near_one]: all failure probabilities close to 1, maximizing the
+      number of repetitions and separating O(log n) from O(loglog n)
+      schedules.
+
+    All generators are deterministic functions of their [seed]. *)
+
+type hazard =
+  | Uniform of { lo : float; hi : float }
+  | Product
+  | Volunteers of { reliable_fraction : float }
+  | Specialists of { capable : int }
+  | Near_one
+
+val hazard_name : hazard -> string
+
+val default_hazards : hazard list
+(** The five models above with standard parameters, used by the bench
+    sweeps. *)
+
+val q_matrix :
+  hazard -> m:int -> n:int -> Suu_prng.Rng.t -> float array array
+(** [q_matrix hazard ~m ~n rng] draws an [m x n] failure matrix.  Every
+    job is guaranteed at least one machine with [q < 1]. *)
+
+val independent : hazard -> n:int -> m:int -> seed:int -> Suu_core.Instance.t
+(** Independent jobs (SUU-I). *)
+
+val chains :
+  hazard -> z:int -> length:int -> m:int -> seed:int -> Suu_core.Instance.t
+(** [chains hazard ~z ~length ~m ~seed]: [z] disjoint chains of [length]
+    jobs each (SUU-C), [n = z * length]. *)
+
+val random_chains :
+  hazard -> n:int -> z:int -> m:int -> seed:int -> Suu_core.Instance.t
+(** [n] jobs split into [z] chains of random (geometric-ish) lengths. *)
+
+val forest :
+  hazard ->
+  n:int ->
+  trees:int ->
+  orientation:[ `Out | `In | `Mixed ] ->
+  m:int ->
+  seed:int ->
+  Suu_core.Instance.t
+(** Random directed forest (SUU-T): [trees] roots, each remaining job
+    attaching to a uniform earlier job of a uniform tree.  [`Out] points
+    edges root→leaf, [`In] leaf→root, [`Mixed] alternates per tree. *)
+
+val mapreduce :
+  hazard -> maps:int -> reduces:int -> m:int -> seed:int -> Suu_core.Instance.t
+(** Two-phase MapReduce dag: a complete bipartite dependency from [maps]
+    map jobs to [reduces] reduce jobs (paper Section 1's motivating
+    example).  Note: this is a *general* dag — the examples schedule it as
+    two independent-job phases. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Fun List Printf QCheck QCheck_alcotest Suu_core Suu_dag Suu_prng Suu_sim Suu_workload Sys

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Fun List QCheck QCheck_alcotest Suu_dag Suu_prng

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Suu_lp Suu_prng

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Gen Printf QCheck QCheck_alcotest Suu_prng

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest String Suu_core Suu_dag Suu_prng Suu_sim Suu_workload

@@ -1,0 +1,1 @@
+test/test_stoch.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck QCheck_alcotest Suu_prng Suu_stoch

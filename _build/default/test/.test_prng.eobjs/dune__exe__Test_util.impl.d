@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gen List QCheck QCheck_alcotest String Suu_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List QCheck QCheck_alcotest Suu_core Suu_dag Suu_workload

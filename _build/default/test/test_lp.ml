@@ -1,0 +1,542 @@
+(* Tests for the LP substrate: problem builder, two-phase simplex, and the
+   MWU covering solver.  The simplex's correctness is what the paper's
+   Lemma 1/2/5/6 machinery stands on, so it gets adversarial cases
+   (degeneracy, redundancy, infeasibility, unboundedness) plus randomized
+   cross-checks against independently-known optima. *)
+
+module P = Suu_lp.Problem
+module S = Suu_lp.Simplex
+module Mwu = Suu_lp.Mwu
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let optimal = function
+  | S.Optimal { objective; x } -> (objective, x)
+  | S.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | S.Iteration_limit -> Alcotest.fail "unexpected: iteration limit"
+
+let solve_opt p = optimal (S.solve p)
+
+(* --- hand-built LPs with known optima --- *)
+
+let test_trivial_min () =
+  (* min x s.t. x >= 3 *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 3.0;
+  let obj, sol = solve_opt p in
+  checkf "objective" 3.0 obj;
+  checkf "x" 3.0 sol.(x)
+
+let test_two_var_max () =
+  (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  (opt 12 at x=4,y=0) *)
+  let p = P.create () in
+  let x = P.add_var ~obj:(-3.0) p in
+  let y = P.add_var ~obj:(-2.0) p in
+  P.add_constraint p [ (x, 1.0); (y, 1.0) ] P.Le 4.0;
+  P.add_constraint p [ (x, 1.0); (y, 3.0) ] P.Le 6.0;
+  let obj, sol = solve_opt p in
+  checkf "objective" (-12.0) obj;
+  checkf "x" 4.0 sol.(x);
+  checkf "y" 0.0 sol.(y)
+
+let test_equality_constraint () =
+  (* min x + y s.t. x + y = 5, x - y <= 1  -> any x+y=5; obj 5 *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  let y = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0); (y, 1.0) ] P.Eq 5.0;
+  P.add_constraint p [ (x, 1.0); (y, -1.0) ] P.Le 1.0;
+  let obj, sol = solve_opt p in
+  checkf "objective" 5.0 obj;
+  checkf "feasible" 0.0 (P.constraint_violation p sol)
+
+let test_negative_rhs () =
+  (* min x s.t. -x <= -2  (i.e. x >= 2) *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, -1.0) ] P.Le (-2.0);
+  let obj, _ = solve_opt p in
+  checkf "objective" 2.0 obj
+
+let test_infeasible () =
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 5.0;
+  P.add_constraint p [ (x, 1.0) ] P.Le 3.0;
+  match S.solve p with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  (* min -x s.t. x >= 1 *)
+  let p = P.create () in
+  let x = P.add_var ~obj:(-1.0) p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 1.0;
+  match S.solve p with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate_beale () =
+  (* Beale's classic cycling example; Bland's fallback must terminate.
+     min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+     s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+          0.5  x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+          x6 <= 1                         (optimum -0.05) *)
+  let p = P.create () in
+  let x4 = P.add_var ~obj:(-0.75) p in
+  let x5 = P.add_var ~obj:150.0 p in
+  let x6 = P.add_var ~obj:(-0.02) p in
+  let x7 = P.add_var ~obj:6.0 p in
+  P.add_constraint p
+    [ (x4, 0.25); (x5, -60.0); (x6, -0.04); (x7, 9.0) ]
+    P.Le 0.0;
+  P.add_constraint p
+    [ (x4, 0.5); (x5, -90.0); (x6, -0.02); (x7, 3.0) ]
+    P.Le 0.0;
+  P.add_constraint p [ (x6, 1.0) ] P.Le 1.0;
+  let obj, sol = solve_opt p in
+  checkf "objective" (-0.05) obj;
+  checkf "feasible" 0.0 (P.constraint_violation p sol)
+
+let test_redundant_rows () =
+  (* Duplicate equalities create zero rows in phase 1. *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  let y = P.add_var ~obj:2.0 p in
+  P.add_constraint p [ (x, 1.0); (y, 1.0) ] P.Eq 3.0;
+  P.add_constraint p [ (x, 1.0); (y, 1.0) ] P.Eq 3.0;
+  P.add_constraint p [ (x, 2.0); (y, 2.0) ] P.Eq 6.0;
+  let obj, sol = solve_opt p in
+  checkf "objective" 3.0 obj;
+  checkf "x" 3.0 sol.(x);
+  checkf "y" 0.0 sol.(y)
+
+let test_duplicate_terms_merged () =
+  (* x appearing twice in one row must sum coefficients. *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0); (x, 1.0) ] P.Ge 4.0;
+  let obj, _ = solve_opt p in
+  checkf "objective (2x >= 4)" 2.0 obj
+
+let test_zero_rhs_ge () =
+  (* min x + y s.t. x - y >= 0, y >= 2 -> x = y = 2 *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  let y = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0); (y, -1.0) ] P.Ge 0.0;
+  P.add_constraint p [ (y, 1.0) ] P.Ge 2.0;
+  let obj, _ = solve_opt p in
+  checkf "objective" 4.0 obj
+
+let test_solve_exn_raises () =
+  let p = P.create ~name:"broken" () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 5.0;
+  P.add_constraint p [ (x, 1.0) ] P.Le 3.0;
+  Alcotest.check_raises "exn" (Failure "broken: infeasible") (fun () ->
+      ignore (S.solve_exn p))
+
+let test_problem_validation () =
+  let p = P.create () in
+  let _ = P.add_var p in
+  Alcotest.check_raises "bad var"
+    (Invalid_argument "Problem.add_constraint: variable out of range")
+    (fun () -> P.add_constraint p [ (5, 1.0) ] P.Ge 0.0)
+
+let test_objective_value () =
+  let p = P.create () in
+  let x = P.add_var ~obj:2.0 p in
+  let y = P.add_var ~obj:(-1.0) p in
+  ignore y;
+  checkf "eval" 5.0 (P.objective_value p [| 3.0; 1.0 |]);
+  ignore x
+
+(* --- randomized cross-checks --- *)
+
+(* Random transportation-style LP whose optimum we can compute greedily:
+   min sum c_i x_i  s.t. sum x_i >= b, x_i <= u_i.  Optimal cost: fill
+   cheapest first. *)
+let transportation_case seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let k = 2 + Suu_prng.Rng.int rng 6 in
+  let c = Array.init k (fun _ -> Suu_prng.Rng.range rng ~lo:0.1 ~hi:5.0) in
+  let u = Array.init k (fun _ -> Suu_prng.Rng.range rng ~lo:0.5 ~hi:3.0) in
+  let cap = Array.fold_left ( +. ) 0.0 u in
+  let b = Suu_prng.Rng.range rng ~lo:0.1 ~hi:(0.9 *. cap) in
+  let p = P.create () in
+  let xs = Array.map (fun ci -> P.add_var ~obj:ci p) c in
+  P.add_constraint p
+    (Array.to_list (Array.map (fun x -> (x, 1.0)) xs))
+    P.Ge b;
+  Array.iteri (fun i x -> P.add_constraint p [ (x, 1.0) ] P.Le u.(i)) xs;
+  (* greedy optimum *)
+  let order = Array.init k Fun.id in
+  Array.sort (fun a b' -> compare c.(a) c.(b')) order;
+  let expected = ref 0.0 and need = ref b in
+  Array.iter
+    (fun i ->
+      let take = Float.min !need u.(i) in
+      expected := !expected +. (take *. c.(i));
+      need := !need -. take)
+    order;
+  (p, !expected)
+
+let prop_transportation =
+  QCheck.Test.make ~count:200 ~name:"simplex matches greedy transportation"
+    QCheck.small_int (fun seed ->
+      let p, expected = transportation_case seed in
+      let obj, sol = solve_opt p in
+      Float.abs (obj -. expected) < 1e-6 *. Float.max 1.0 expected
+      && P.constraint_violation p sol < 1e-6)
+
+(* Random LP1-shaped min-load covers: simplex solution must be feasible,
+   and no worse than the trivial single-machine solution. *)
+let prop_min_load_cover_feasible =
+  QCheck.Test.make ~count:100 ~name:"simplex on LP1 shape: feasible + sane"
+    QCheck.small_int (fun seed ->
+      let rng = Suu_prng.Rng.create ~seed in
+      let m = 2 + Suu_prng.Rng.int rng 4 in
+      let n = 2 + Suu_prng.Rng.int rng 6 in
+      let a =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.05 ~hi:1.0))
+      in
+      let p = P.create () in
+      let t = P.add_var ~obj:1.0 p in
+      let x = Array.init m (fun _ -> Array.init n (fun _ -> P.add_var p)) in
+      for j = 0 to n - 1 do
+        P.add_constraint p
+          (List.init m (fun i -> (x.(i).(j), a.(i).(j))))
+          P.Ge 1.0
+      done;
+      for i = 0 to m - 1 do
+        P.add_constraint p
+          ((t, -1.0) :: List.init n (fun j -> (x.(i).(j), 1.0)))
+          P.Le 0.0
+      done;
+      let obj, sol = solve_opt p in
+      (* trivial upper bound: machine 0 covers everything alone *)
+      let trivial = ref 0.0 in
+      for j = 0 to n - 1 do
+        trivial := !trivial +. (1.0 /. a.(0).(j))
+      done;
+      P.constraint_violation p sol < 1e-6
+      && obj <= !trivial +. 1e-6
+      && obj >= -1e-9)
+
+(* Random LP in the two solvers: identical classification and, when
+   optimal, matching objective values plus mutual feasibility. *)
+let random_general_lp seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let nv = 2 + Suu_prng.Rng.int rng 6 in
+  let nc = 1 + Suu_prng.Rng.int rng 6 in
+  let p = P.create () in
+  let vars =
+    Array.init nv (fun _ ->
+        P.add_var ~obj:(Suu_prng.Rng.range rng ~lo:(-2.0) ~hi:3.0) p)
+  in
+  for _ = 1 to nc do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Suu_prng.Rng.bool rng then
+               Some (v, Suu_prng.Rng.range rng ~lo:(-2.0) ~hi:2.0)
+             else None)
+    in
+    let terms = if terms = [] then [ (vars.(0), 1.0) ] else terms in
+    let sense =
+      match Suu_prng.Rng.int rng 3 with
+      | 0 -> P.Le
+      | 1 -> P.Ge
+      | _ -> P.Eq
+    in
+    P.add_constraint p terms sense (Suu_prng.Rng.range rng ~lo:(-3.0) ~hi:5.0)
+  done;
+  p
+
+(* --- duals --- *)
+
+let test_duals_known () =
+  (* min x s.t. x >= 3: dual of the covering row is 1 (the objective's
+     full weight rests on it); objective = 1 * 3. *)
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 3.0;
+  match S.solve_detailed p with
+  | Some d ->
+      checkf "objective" 3.0 d.S.objective;
+      checkf "dual" 1.0 d.S.duals.(0)
+  | None -> Alcotest.fail "expected optimal"
+
+let test_duals_none_when_infeasible () =
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 5.0;
+  P.add_constraint p [ (x, 1.0) ] P.Le 3.0;
+  Alcotest.(check bool) "none" true (S.solve_detailed p = None)
+
+(* Strong duality + dual feasibility on random LPs: whenever the solver
+   reports optimal, obj = duals . rhs and every variable's reduced cost
+   under the duals is >= 0 (for minimization with x >= 0). *)
+let prop_strong_duality =
+  QCheck.Test.make ~count:300 ~name:"strong duality and dual feasibility"
+    QCheck.small_int (fun seed ->
+      let p = random_general_lp seed in
+      match S.solve_detailed p with
+      | None -> true (* infeasible/unbounded: nothing to check *)
+      | Some d ->
+          let nv = P.num_vars p in
+          (* gather rhs and per-variable dual weights *)
+          let yb = ref 0.0 in
+          let aty = Array.make nv 0.0 in
+          let r = ref 0 in
+          P.iter_constraints p (fun terms _ rhs ->
+              yb := !yb +. (d.S.duals.(!r) *. rhs);
+              Array.iter
+                (fun (v, coeff) ->
+                  aty.(v) <- aty.(v) +. (d.S.duals.(!r) *. coeff))
+                terms;
+              incr r);
+          let scale = Float.max 1.0 (Float.abs d.S.objective) in
+          let strong = Float.abs (d.S.objective -. !yb) < 1e-5 *. scale in
+          let c = P.objective p in
+          let dual_feasible = ref true in
+          for v = 0 to nv - 1 do
+            if c.(v) -. aty.(v) < -1e-5 then dual_feasible := false
+          done;
+          strong && !dual_feasible)
+
+(* --- revised simplex (differential) --- *)
+
+module Rs = Suu_lp.Revised_simplex
+
+let test_revised_known_cases () =
+  (* Re-run the hand-built cases through the second solver. *)
+  let p = P.create () in
+  let x = P.add_var ~obj:(-3.0) p in
+  let y = P.add_var ~obj:(-2.0) p in
+  P.add_constraint p [ (x, 1.0); (y, 1.0) ] P.Le 4.0;
+  P.add_constraint p [ (x, 1.0); (y, 3.0) ] P.Le 6.0;
+  let obj, sol = optimal (Rs.solve p) in
+  checkf "objective" (-12.0) obj;
+  checkf "feasible" 0.0 (P.constraint_violation p sol)
+
+let test_revised_infeasible_unbounded () =
+  let p = P.create () in
+  let x = P.add_var ~obj:1.0 p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 5.0;
+  P.add_constraint p [ (x, 1.0) ] P.Le 3.0;
+  (match Rs.solve p with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  let p = P.create () in
+  let x = P.add_var ~obj:(-1.0) p in
+  P.add_constraint p [ (x, 1.0) ] P.Ge 1.0;
+  match Rs.solve p with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_revised_beale () =
+  let p = P.create () in
+  let x4 = P.add_var ~obj:(-0.75) p in
+  let x5 = P.add_var ~obj:150.0 p in
+  let x6 = P.add_var ~obj:(-0.02) p in
+  let x7 = P.add_var ~obj:6.0 p in
+  P.add_constraint p
+    [ (x4, 0.25); (x5, -60.0); (x6, -0.04); (x7, 9.0) ]
+    P.Le 0.0;
+  P.add_constraint p
+    [ (x4, 0.5); (x5, -90.0); (x6, -0.02); (x7, 3.0) ]
+    P.Le 0.0;
+  P.add_constraint p [ (x6, 1.0) ] P.Le 1.0;
+  let obj, _ = optimal (Rs.solve p) in
+  checkf "objective" (-0.05) obj
+
+let prop_revised_matches_tableau =
+  QCheck.Test.make ~count:300 ~name:"revised = tableau on random LPs"
+    QCheck.small_int (fun seed ->
+      let p = random_general_lp seed in
+      match (S.solve p, Rs.solve p) with
+      | ( S.Optimal { objective = oa; x = xa },
+          S.Optimal { objective = ob; x = xb } ) ->
+          Float.abs (oa -. ob) < 1e-5 *. Float.max 1.0 (Float.abs oa)
+          && P.constraint_violation p xa < 1e-6
+          && P.constraint_violation p xb < 1e-6
+      | S.Infeasible, S.Infeasible -> true
+      | S.Unbounded, S.Unbounded -> true
+      | _, _ -> false)
+
+let prop_revised_matches_on_lp1_shape =
+  QCheck.Test.make ~count:60 ~name:"revised = tableau on LP1 shapes"
+    QCheck.small_int (fun seed ->
+      let rng = Suu_prng.Rng.create ~seed in
+      let m = 2 + Suu_prng.Rng.int rng 4 in
+      let n = 2 + Suu_prng.Rng.int rng 6 in
+      let a =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.05 ~hi:1.0))
+      in
+      let targets =
+        Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.5 ~hi:2.0)
+      in
+      let build () =
+        let p = P.create () in
+        let t = P.add_var ~obj:1.0 p in
+        let x = Array.init m (fun _ -> Array.init n (fun _ -> P.add_var p)) in
+        for j = 0 to n - 1 do
+          P.add_constraint p
+            (List.init m (fun i -> (x.(i).(j), a.(i).(j))))
+            P.Ge targets.(j)
+        done;
+        for i = 0 to m - 1 do
+          P.add_constraint p
+            ((t, -1.0) :: List.init n (fun j -> (x.(i).(j), 1.0)))
+            P.Le 0.0
+        done;
+        p
+      in
+      let va, _ = solve_opt (build ()) in
+      let vb, _ = optimal (Rs.solve (build ())) in
+      Float.abs (va -. vb) < 1e-5 *. Float.max 1.0 va)
+
+(* --- MWU --- *)
+
+let mwu_case seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let m = 2 + Suu_prng.Rng.int rng 4 in
+  let n = 2 + Suu_prng.Rng.int rng 6 in
+  let a =
+    Array.init m (fun _ ->
+        Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.05 ~hi:1.0))
+  in
+  let targets =
+    Array.init n (fun _ -> Suu_prng.Rng.range rng ~lo:0.5 ~hi:2.0)
+  in
+  (m, n, a, targets)
+
+let simplex_min_load_cover ~m ~n ~a ~targets =
+  let p = P.create () in
+  let t = P.add_var ~obj:1.0 p in
+  let x = Array.init m (fun _ -> Array.init n (fun _ -> P.add_var p)) in
+  for j = 0 to n - 1 do
+    P.add_constraint p
+      (List.init m (fun i -> (x.(i).(j), a.(i).(j))))
+      P.Ge targets.(j)
+  done;
+  for i = 0 to m - 1 do
+    P.add_constraint p
+      ((t, -1.0) :: List.init n (fun j -> (x.(i).(j), 1.0)))
+      P.Le 0.0
+  done;
+  fst (solve_opt p)
+
+let prop_mwu_feasible_and_near_optimal =
+  QCheck.Test.make ~count:60 ~name:"MWU covers targets within (1+5eps) of LP"
+    QCheck.small_int (fun seed ->
+      let m, n, a, targets = mwu_case seed in
+      let eps = 0.1 in
+      let { Mwu.x; value } =
+        Mwu.min_load_cover ~a:(fun i j -> a.(i).(j)) ~m ~n ~targets ~eps
+      in
+      (* feasibility: every job covered *)
+      let covered = ref true in
+      for j = 0 to n - 1 do
+        let cov = ref 0.0 in
+        for i = 0 to m - 1 do
+          cov := !cov +. (a.(i).(j) *. x.(i).(j))
+        done;
+        if !cov < targets.(j) -. 1e-6 then covered := false
+      done;
+      (* load accounting *)
+      let load = ref 0.0 in
+      for i = 0 to m - 1 do
+        let l = Array.fold_left ( +. ) 0.0 x.(i) in
+        if l > !load then load := l
+      done;
+      let opt = simplex_min_load_cover ~m ~n ~a ~targets in
+      !covered
+      && Float.abs (!load -. value) < 1e-6
+      && value <= ((1.0 +. (5.0 *. eps)) *. opt) +. 1e-6
+      && value >= opt -. 1e-6)
+
+let test_mwu_validation () =
+  Alcotest.check_raises "bad eps"
+    (Invalid_argument "Mwu: eps must be in (0, 0.5]") (fun () ->
+      ignore
+        (Mwu.min_load_cover
+           ~a:(fun _ _ -> 1.0)
+           ~m:1 ~n:1 ~targets:[| 1.0 |] ~eps:0.9));
+  Alcotest.check_raises "empty support"
+    (Invalid_argument "Mwu: job with empty support") (fun () ->
+      ignore
+        (Mwu.min_load_cover
+           ~a:(fun _ _ -> 0.0)
+           ~m:2 ~n:1 ~targets:[| 1.0 |] ~eps:0.1))
+
+let test_mwu_single () =
+  (* One machine, one job: the answer is exactly target / a. *)
+  let { Mwu.value; _ } =
+    Mwu.min_load_cover
+      ~a:(fun _ _ -> 0.5)
+      ~m:1 ~n:1 ~targets:[| 2.0 |] ~eps:0.05
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "value %.4f in [4, 4*1.3]" value)
+    true
+    (value >= 4.0 -. 1e-9 && value <= 4.0 *. 1.3)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "trivial min" `Quick test_trivial_min;
+          Alcotest.test_case "two-var max" `Quick test_two_var_max;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate_beale;
+          Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
+          Alcotest.test_case "duplicate terms" `Quick
+            test_duplicate_terms_merged;
+          Alcotest.test_case "zero-rhs >=" `Quick test_zero_rhs_ge;
+          Alcotest.test_case "solve_exn" `Quick test_solve_exn_raises;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "validation" `Quick test_problem_validation;
+          Alcotest.test_case "objective eval" `Quick test_objective_value;
+        ] );
+      ( "duals",
+        [
+          Alcotest.test_case "known" `Quick test_duals_known;
+          Alcotest.test_case "infeasible" `Quick
+            test_duals_none_when_infeasible;
+        ] );
+      ( "revised-simplex",
+        [
+          Alcotest.test_case "known cases" `Quick test_revised_known_cases;
+          Alcotest.test_case "infeasible/unbounded" `Quick
+            test_revised_infeasible_unbounded;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_revised_beale;
+        ] );
+      ( "mwu",
+        [
+          Alcotest.test_case "validation" `Quick test_mwu_validation;
+          Alcotest.test_case "single pair" `Quick test_mwu_single;
+        ] );
+      ( "properties",
+        [
+          q prop_transportation;
+          q prop_min_load_cover_feasible;
+          q prop_strong_duality;
+          q prop_revised_matches_tableau;
+          q prop_revised_matches_on_lp1_shape;
+          q prop_mwu_feasible_and_near_optimal;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for summary statistics and growth-curve fitting. *)
+
+module Summary = Suu_stats.Summary
+module Fit = Suu_stats.Fit
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf4 = Alcotest.(check (float 1e-4))
+
+let test_summary_basic () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "mean" 2.5 s.Summary.mean;
+  checkf "min" 1.0 s.Summary.min;
+  checkf "max" 4.0 s.Summary.max;
+  Alcotest.(check int) "n" 4 s.Summary.n;
+  (* sample stddev of 1..4 is sqrt(5/3) *)
+  checkf4 "stddev" (sqrt (5.0 /. 3.0)) s.Summary.stddev
+
+let test_summary_singleton () =
+  let s = Summary.of_array [| 7.0 |] in
+  checkf "mean" 7.0 s.Summary.mean;
+  checkf "stddev" 0.0 s.Summary.stddev
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty")
+    (fun () -> ignore (Summary.of_array [||]))
+
+let test_summary_constant () =
+  let s = Summary.of_array (Array.make 100 3.25) in
+  checkf "mean" 3.25 s.Summary.mean;
+  checkf "stddev" 0.0 s.Summary.stddev;
+  checkf "ci" 0.0 s.Summary.ci95
+
+let test_summary_of_list () =
+  let s = Summary.of_list [ 2.0; 4.0 ] in
+  checkf "mean" 3.0 s.Summary.mean
+
+let test_mean () = checkf "mean" 2.0 (Summary.mean [| 1.0; 2.0; 3.0 |])
+
+let test_quantile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median" 3.0 (Summary.quantile xs 0.5);
+  checkf "min" 1.0 (Summary.quantile xs 0.0);
+  checkf "max" 5.0 (Summary.quantile xs 1.0);
+  checkf "q25" 2.0 (Summary.quantile xs 0.25);
+  (* original array untouched *)
+  Alcotest.(check bool) "no mutation" true (xs.(0) = 5.0)
+
+let test_quantile_interpolation () =
+  checkf "interpolated" 1.5 (Summary.quantile [| 1.0; 2.0 |] 0.5)
+
+let test_ols_exact_line () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let l = Fit.ols ~xs ~ys in
+  checkf4 "slope" 2.0 l.Fit.slope;
+  checkf4 "intercept" 1.0 l.Fit.intercept;
+  checkf4 "r2" 1.0 l.Fit.r2
+
+let test_ols_flat () =
+  let l = Fit.ols ~xs:[| 1.0; 2.0; 3.0 |] ~ys:[| 5.0; 5.0; 5.0 |] in
+  checkf4 "slope" 0.0 l.Fit.slope;
+  checkf4 "r2" 1.0 l.Fit.r2
+
+let test_ols_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Fit.ols: length mismatch") (fun () ->
+      ignore (Fit.ols ~xs:[| 1.0 |] ~ys:[| 1.0; 2.0 |]))
+
+let test_fit_against_log () =
+  (* y = 3 log2 x + 1 should be perfectly explained by f = log2. *)
+  let xs = [| 2.0; 4.0; 8.0; 16.0; 32.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. Fit.log2 x) +. 1.0) xs in
+  let l = Fit.fit_against ~f:Fit.log2 ~xs ~ys in
+  checkf4 "slope" 3.0 l.Fit.slope;
+  checkf4 "r2" 1.0 l.Fit.r2;
+  (* ... and poorly (r2 < 1) by linear x. *)
+  let lin = Fit.ols ~xs ~ys in
+  Alcotest.(check bool) "log beats linear" true (l.Fit.r2 > lin.Fit.r2)
+
+let test_log_helpers () =
+  checkf4 "log2 8" 3.0 (Fit.log2 8.0);
+  checkf4 "loglog2 16" 2.0 (Fit.loglog2 16.0);
+  (* clamped for tiny inputs *)
+  checkf4 "loglog2 2 clamps" 1.0 (Fit.loglog2 2.0)
+
+let prop_ols_residual_orthogonal =
+  (* OLS residuals are uncorrelated with x: sum x_i e_i = 0. *)
+  QCheck.Test.make ~count:200 ~name:"ols normal equations"
+    QCheck.(
+      list_of_size
+        Gen.(3 -- 30)
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun pts ->
+      let xs = Array.of_list (List.map fst pts) in
+      let ys = Array.of_list (List.map snd pts) in
+      let l = Fit.ols ~xs ~ys in
+      let dot = ref 0.0 and total = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          let e = ys.(i) -. ((l.Fit.slope *. x) +. l.Fit.intercept) in
+          dot := !dot +. (x *. e);
+          total := !total +. Float.abs (x *. e))
+        xs;
+      Float.abs !dot < 1e-6 *. Float.max 1.0 !total)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basic" `Quick test_summary_basic;
+          Alcotest.test_case "singleton" `Quick test_summary_singleton;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "constant" `Quick test_summary_constant;
+          Alcotest.test_case "of_list" `Quick test_summary_of_list;
+          Alcotest.test_case "mean" `Quick test_mean;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "order statistics" `Quick test_quantile;
+          Alcotest.test_case "interpolation" `Quick
+            test_quantile_interpolation;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "exact line" `Quick test_ols_exact_line;
+          Alcotest.test_case "flat" `Quick test_ols_flat;
+          Alcotest.test_case "mismatch" `Quick test_ols_mismatch;
+          Alcotest.test_case "log growth" `Quick test_fit_against_log;
+          Alcotest.test_case "log helpers" `Quick test_log_helpers;
+        ] );
+      ("properties", [ q prop_ols_residual_orthogonal ]);
+    ]

@@ -1,0 +1,386 @@
+(* Tests for the Appendix-C stochastic scheduling stack: the
+   Lawler–Labetoulle LP, the Birkhoff–von-Neumann slice decomposition and
+   the STC-I algorithm. *)
+
+module SI = Suu_stoch.Stoch_instance
+module Ll = Suu_stoch.Ll_lp
+module Bvn = Suu_stoch.Bvn
+module Stc = Suu_stoch.Stc_i
+module Rng = Suu_prng.Rng
+
+let checkf4 = Alcotest.(check (float 1e-4))
+
+let random_stoch seed =
+  let rng = Rng.create ~seed in
+  let n = 2 + Rng.int rng 6 in
+  let m = 2 + Rng.int rng 3 in
+  let rates = Array.init n (fun _ -> Rng.range rng ~lo:0.3 ~hi:3.0) in
+  let speeds =
+    Array.init m (fun _ ->
+        Array.init n (fun _ -> Rng.range rng ~lo:0.1 ~hi:2.0))
+  in
+  SI.make ~rates speeds
+
+(* --- instance --- *)
+
+let test_instance_validation () =
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Stoch_instance.make: rates must be positive")
+    (fun () -> ignore (SI.make ~rates:[| 0.0 |] [| [| 1.0 |] |]));
+  Alcotest.check_raises "no usable machine"
+    (Invalid_argument "Stoch_instance.make: job with no usable machine")
+    (fun () -> ignore (SI.make ~rates:[| 1.0 |] [| [| 0.0 |] |]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Stoch_instance.make: ragged speed matrix") (fun () ->
+      ignore (SI.make ~rates:[| 1.0; 1.0 |] [| [| 1.0 |] |]))
+
+let test_instance_fastest () =
+  let inst = SI.make ~rates:[| 1.0 |] [| [| 0.5 |]; [| 2.0 |] |] in
+  Alcotest.(check int) "fastest" 1 (SI.fastest_machine inst 0)
+
+(* --- LL LP --- *)
+
+let test_ll_single_job () =
+  (* One job p = 3 on one machine v = 1.5: C = 2. *)
+  let inst = SI.make ~rates:[| 1.0 |] [| [| 1.5 |] |] in
+  let { Ll.value; _ } = Ll.solve inst ~lengths:[| 3.0 |] ~jobs:[| 0 |] in
+  checkf4 "C" 2.0 value
+
+let test_ll_job_cap_binds () =
+  (* One job, two fast machines: the no-two-machines rule caps speedup.
+     p = 4, v = 2 on both machines: C = 1 is impossible because the job
+     can get at most C time in total... it needs 2 time units of machine
+     work, so C = 2. *)
+  let inst = SI.make ~rates:[| 1.0 |] [| [| 2.0 |]; [| 2.0 |] |] in
+  let { Ll.value; _ } = Ll.solve inst ~lengths:[| 4.0 |] ~jobs:[| 0 |] in
+  checkf4 "job-parallelism bound" 2.0 value
+
+let test_ll_two_jobs_balance () =
+  (* Two identical jobs p = 2, two machines v = 1 everywhere: C = 2. *)
+  let inst =
+    SI.make ~rates:[| 1.0; 1.0 |] [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]
+  in
+  let { Ll.value; _ } =
+    Ll.solve inst ~lengths:[| 2.0; 2.0 |] ~jobs:[| 0; 1 |]
+  in
+  checkf4 "balanced" 2.0 value
+
+let ll_feasible inst lengths jobs sol =
+  let m = SI.m inst and n = SI.n inst in
+  let ok = ref true in
+  Array.iter
+    (fun j ->
+      let work = ref 0.0 in
+      for i = 0 to m - 1 do
+        work := !work +. (SI.speed inst i j *. sol.Ll.x.(i).(j))
+      done;
+      if !work < lengths.(j) -. 1e-6 then ok := false)
+    jobs;
+  for i = 0 to m - 1 do
+    let load = Array.fold_left ( +. ) 0.0 sol.Ll.x.(i) in
+    if load > sol.Ll.value +. 1e-6 then ok := false
+  done;
+  for j = 0 to n - 1 do
+    let time = ref 0.0 in
+    for i = 0 to m - 1 do
+      time := !time +. sol.Ll.x.(i).(j)
+    done;
+    if !time > sol.Ll.value +. 1e-6 then ok := false
+  done;
+  !ok
+
+let prop_ll_feasible =
+  QCheck.Test.make ~count:80 ~name:"LL LP solutions are feasible"
+    QCheck.small_int (fun seed ->
+      let inst = random_stoch seed in
+      let n = SI.n inst in
+      let rng = Rng.create ~seed:(seed + 1000) in
+      let lengths = Array.init n (fun _ -> Rng.range rng ~lo:0.2 ~hi:5.0) in
+      let jobs = Array.init n Fun.id in
+      let sol = Ll.solve inst ~lengths ~jobs in
+      ll_feasible inst lengths jobs sol)
+
+let prop_ll_lower_bounds =
+  (* C >= max_j p_j / v_max(j) and C >= total work share. *)
+  QCheck.Test.make ~count:80 ~name:"LL optimum respects simple bounds"
+    QCheck.small_int (fun seed ->
+      let inst = random_stoch seed in
+      let n = SI.n inst in
+      let rng = Rng.create ~seed:(seed + 2000) in
+      let lengths = Array.init n (fun _ -> Rng.range rng ~lo:0.2 ~hi:5.0) in
+      let jobs = Array.init n Fun.id in
+      let sol = Ll.solve inst ~lengths ~jobs in
+      let per_job = ref 0.0 in
+      for j = 0 to n - 1 do
+        let v = SI.speed inst (SI.fastest_machine inst j) j in
+        per_job := Float.max !per_job (lengths.(j) /. v)
+      done;
+      sol.Ll.value >= !per_job -. 1e-6)
+
+(* --- BvN --- *)
+
+let slices_reconstruct ~m ~n ~x slices =
+  let acc = Array.make_matrix m n 0.0 in
+  List.iter
+    (fun { Bvn.duration; assign } ->
+      Array.iteri
+        (fun i j -> if j >= 0 then acc.(i).(j) <- acc.(i).(j) +. duration)
+        assign)
+    slices;
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      if Float.abs (acc.(i).(j) -. x.(i).(j)) > 1e-6 then ok := false
+    done
+  done;
+  !ok
+
+let slices_no_job_doubled slices =
+  List.for_all
+    (fun { Bvn.assign; _ } ->
+      let seen = Hashtbl.create 8 in
+      Array.for_all
+        (fun j ->
+          if j < 0 then true
+          else if Hashtbl.mem seen j then false
+          else begin
+            Hashtbl.add seen j ();
+            true
+          end)
+        assign)
+    slices
+
+let test_bvn_identity () =
+  (* x is already a matching: a single slice should cover it. *)
+  let x = [| [| 2.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let slices = Bvn.decompose ~m:2 ~n:2 ~x ~horizon:2.0 in
+  Alcotest.(check bool) "reconstructs" true
+    (slices_reconstruct ~m:2 ~n:2 ~x slices);
+  Alcotest.(check bool) "valid" true (slices_no_job_doubled slices)
+
+let test_bvn_swap () =
+  (* Classic 2x2 doubly stochastic: two matchings needed. *)
+  let x = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let slices = Bvn.decompose ~m:2 ~n:2 ~x ~horizon:2.0 in
+  Alcotest.(check bool) "reconstructs" true
+    (slices_reconstruct ~m:2 ~n:2 ~x slices);
+  let total =
+    List.fold_left (fun a s -> a +. s.Bvn.duration) 0.0 slices
+  in
+  Alcotest.(check bool) "duration <= horizon" true (total <= 2.0 +. 1e-6)
+
+let test_bvn_validation () =
+  Alcotest.(check bool)
+    "over-horizon row rejected" true
+    (try
+       ignore (Bvn.decompose ~m:1 ~n:1 ~x:[| [| 3.0 |] |] ~horizon:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_bvn_reconstructs_ll_solutions =
+  QCheck.Test.make ~count:60 ~name:"BvN realizes LL timetables exactly"
+    QCheck.small_int (fun seed ->
+      let inst = random_stoch seed in
+      let n = SI.n inst and m = SI.m inst in
+      let rng = Rng.create ~seed:(seed + 3000) in
+      let lengths = Array.init n (fun _ -> Rng.range rng ~lo:0.2 ~hi:5.0) in
+      let jobs = Array.init n Fun.id in
+      let sol = Ll.solve inst ~lengths ~jobs in
+      if sol.Ll.value <= 0.0 then true
+      else begin
+        let slices = Bvn.decompose ~m ~n ~x:sol.Ll.x ~horizon:sol.Ll.value in
+        let total =
+          List.fold_left (fun a s -> a +. s.Bvn.duration) 0.0 slices
+        in
+        slices_reconstruct ~m ~n ~x:sol.Ll.x slices
+        && slices_no_job_doubled slices
+        && total <= (sol.Ll.value *. (1.0 +. 1e-6)) +. 1e-9
+      end)
+
+(* --- STC-I --- *)
+
+let test_stc_rounds () =
+  let inst = random_stoch 1 in
+  Alcotest.(check bool) "K >= 4" true (Stc.rounds inst >= 4)
+
+let test_stc_completes_and_bounded () =
+  let inst = random_stoch 2 in
+  let runs = Stc.runs inst ~seed:5 ~reps:20 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "positive" true (r.Stc.makespan > 0.0);
+      Alcotest.(check bool)
+        "offline lower-bounds online" true
+        (r.Stc.makespan >= r.Stc.offline -. 1e-6))
+    runs
+
+let test_stc_single_fast_job () =
+  (* One job, rate 1, speed 1: STC-I should take O(1) expected time. *)
+  let inst = SI.make ~rates:[| 1.0 |] [| [| 1.0 |] |] in
+  let runs = Stc.runs inst ~seed:6 ~reps:200 in
+  let mean =
+    Array.fold_left (fun a r -> a +. r.Stc.makespan) 0.0 runs /. 200.0
+  in
+  (* E[p] = 1; rounds overshoot by at most a constant factor. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f < 6" mean)
+    true (mean < 6.0)
+
+let test_stc_ratio_reasonable () =
+  let inst = random_stoch 7 in
+  let runs = Stc.runs inst ~seed:8 ~reps:20 in
+  let mk =
+    Array.fold_left (fun a r -> a +. r.Stc.makespan) 0.0 runs /. 20.0
+  in
+  let off =
+    Array.fold_left (fun a r -> a +. r.Stc.offline) 0.0 runs /. 20.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f < 20" (mk /. off))
+    true
+    (mk /. off < 20.0)
+
+(* --- LST (R||Cmax 2-approximation) --- *)
+
+module Lst = Suu_stoch.Lst
+module StcR = Suu_stoch.Stc_r
+
+let test_lst_single_job () =
+  (* One job: it must land on its fastest machine. *)
+  let p i _ = if i = 1 then 2.0 else 5.0 in
+  let s = Lst.schedule ~m:3 ~n:1 ~p ~eps:0.01 in
+  Alcotest.(check int) "fastest machine" 1 s.Lst.machine_of_job.(0);
+  checkf4 "makespan" 2.0 s.Lst.makespan
+
+let test_lst_identical_machines () =
+  (* 4 unit jobs on 2 identical machines: optimum 2, LST <= 4. *)
+  let s = Lst.schedule ~m:2 ~n:4 ~p:(fun _ _ -> 1.0) ~eps:0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.2f <= 4" s.Lst.makespan)
+    true
+    (s.Lst.makespan <= 4.0 +. 1e-6);
+  Alcotest.(check bool) "lower bound sane" true (s.Lst.lp_bound >= 2.0 -. 0.1)
+
+let test_lst_validation () =
+  Alcotest.check_raises "unrunnable job"
+    (Invalid_argument "Lst.schedule: job with no runnable machine")
+    (fun () ->
+      ignore (Lst.schedule ~m:1 ~n:1 ~p:(fun _ _ -> infinity) ~eps:0.1))
+
+let prop_lst_two_approx =
+  (* The 2(1+eps) guarantee against the LP bound, plus assignment
+     validity. *)
+  QCheck.Test.make ~count:60 ~name:"LST within 2(1+eps) of its LP bound"
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = 2 + Rng.int rng 3 in
+      let n = 2 + Rng.int rng 8 in
+      let p =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Rng.range rng ~lo:0.2 ~hi:5.0))
+      in
+      let eps = 0.05 in
+      let s = Lst.schedule ~m ~n ~p:(fun i j -> p.(i).(j)) ~eps in
+      Array.for_all (fun i -> i >= 0 && i < m) s.Lst.machine_of_job
+      && s.Lst.makespan <= (2.0 *. (1.0 +. eps) *. s.Lst.lp_bound) +. 1e-6
+      && s.Lst.lp_bound > 0.0)
+
+let prop_lst_dominates_opt_bound =
+  (* lp_bound never exceeds the trivial best-machine-sequential bound. *)
+  QCheck.Test.make ~count:60 ~name:"LST LP bound below trivial schedule"
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = 2 + Rng.int rng 3 in
+      let n = 2 + Rng.int rng 8 in
+      let p =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Rng.range rng ~lo:0.2 ~hi:5.0))
+      in
+      let trivial = ref 0.0 in
+      for j = 0 to n - 1 do
+        let b = ref infinity in
+        for i = 0 to m - 1 do
+          if p.(i).(j) < !b then b := p.(i).(j)
+        done;
+        trivial := !trivial +. !b
+      done;
+      let s = Lst.schedule ~m ~n ~p:(fun i j -> p.(i).(j)) ~eps:0.05 in
+      s.Lst.lp_bound <= !trivial +. 1e-6)
+
+(* --- STC-R --- *)
+
+let test_stc_r_completes () =
+  let inst = random_stoch 31 in
+  let runs = StcR.runs inst ~seed:32 ~reps:15 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "positive" true (r.StcR.makespan > 0.0);
+      Alcotest.(check bool)
+        "offline bound holds" true
+        (r.StcR.makespan >= r.StcR.offline -. 1e-6))
+    runs
+
+let test_stc_r_vs_stc_i () =
+  (* The restart model is more constrained than preemption, so STC-R
+     should not be dramatically better than STC-I (statistically). *)
+  let inst = random_stoch 33 in
+  let ri = Stc.runs inst ~seed:34 ~reps:30 in
+  let rr = StcR.runs inst ~seed:34 ~reps:30 in
+  let mean f xs = Array.fold_left (fun a x -> a +. f x) 0.0 xs /. 30.0 in
+  let mi = mean (fun r -> r.Stc.makespan) ri in
+  let mr = mean (fun r -> r.StcR.makespan) rr in
+  Alcotest.(check bool)
+    (Printf.sprintf "stc-r %.2f within [0.5, 5] x stc-i %.2f" mr mi)
+    true
+    (mr >= 0.4 *. mi && mr <= 5.0 *. mi)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stoch"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "fastest" `Quick test_instance_fastest;
+        ] );
+      ( "ll-lp",
+        [
+          Alcotest.test_case "single job" `Quick test_ll_single_job;
+          Alcotest.test_case "job cap binds" `Quick test_ll_job_cap_binds;
+          Alcotest.test_case "balance" `Quick test_ll_two_jobs_balance;
+        ] );
+      ( "bvn",
+        [
+          Alcotest.test_case "identity" `Quick test_bvn_identity;
+          Alcotest.test_case "swap" `Quick test_bvn_swap;
+          Alcotest.test_case "validation" `Quick test_bvn_validation;
+        ] );
+      ( "stc-i",
+        [
+          Alcotest.test_case "rounds" `Quick test_stc_rounds;
+          Alcotest.test_case "completes" `Quick
+            test_stc_completes_and_bounded;
+          Alcotest.test_case "single job" `Quick test_stc_single_fast_job;
+          Alcotest.test_case "ratio" `Quick test_stc_ratio_reasonable;
+        ] );
+      ( "lst",
+        [
+          Alcotest.test_case "single job" `Quick test_lst_single_job;
+          Alcotest.test_case "identical machines" `Quick
+            test_lst_identical_machines;
+          Alcotest.test_case "validation" `Quick test_lst_validation;
+        ] );
+      ( "stc-r",
+        [
+          Alcotest.test_case "completes" `Quick test_stc_r_completes;
+          Alcotest.test_case "vs stc-i" `Quick test_stc_r_vs_stc_i;
+        ] );
+      ( "properties",
+        [
+          q prop_ll_feasible;
+          q prop_ll_lower_bounds;
+          q prop_bvn_reconstructs_ll_solutions;
+          q prop_lst_two_approx;
+          q prop_lst_dominates_opt_bound;
+        ] );
+    ]

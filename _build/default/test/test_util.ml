@@ -1,0 +1,84 @@
+(* Tests for the ASCII table renderer used by the bench harness. *)
+
+module Table = Suu_util.Table
+
+let render_lines t =
+  String.split_on_char '\n' (Table.render t)
+  |> List.filter (fun l -> l <> "")
+
+let test_basic_layout () =
+  let t = Table.create ~header:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let lines = render_lines t in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* all lines share the same width *)
+  let widths = List.map String.length lines in
+  List.iter
+    (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w)
+    widths
+
+let test_right_alignment () =
+  let t = Table.create ~header:[ "k"; "v" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "y"; "100" ];
+  let lines = render_lines t in
+  let last = List.nth lines 3 in
+  (* numeric column is right-aligned: "1" sits at the end on row x *)
+  let row_x = List.nth lines 2 in
+  Alcotest.(check bool) "right aligned" true
+    (String.length row_x = String.length last
+    && row_x.[String.length row_x - 1] = '1')
+
+let test_short_rows_padded () =
+  let t = Table.create ~header:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  let lines = render_lines t in
+  Alcotest.(check int) "renders" 3 (List.length lines)
+
+let test_too_long_row () =
+  let t = Table.create ~header:[ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than columns") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_float_row () =
+  let t = Table.create ~header:[ "label"; "x"; "y" ] in
+  Table.add_float_row t "r" [ 1.5; Float.nan ];
+  let s = Table.render t in
+  Alcotest.(check bool) "formats nan as dash" true
+    (String.length s > 0
+    && String.index_opt s '-' <> None)
+
+let test_fmt_g () =
+  Alcotest.(check string) "integer" "42" (Table.fmt_g 42.0);
+  Alcotest.(check string) "nan" "-" (Table.fmt_g Float.nan);
+  Alcotest.(check string) "4 sig figs" "3.142" (Table.fmt_g 3.14159);
+  Alcotest.(check string) "small" "0.001234" (Table.fmt_g 0.0012341)
+
+let prop_render_row_count =
+  QCheck.Test.make ~count:100 ~name:"render emits one line per row + 2"
+    QCheck.(list_of_size Gen.(0 -- 20) (list_of_size Gen.(1 -- 3) string))
+    (fun rows ->
+      let t = Table.create ~header:[ "a"; "b"; "c" ] in
+      let clean s =
+        String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+      in
+      List.iter (fun row -> Table.add_row t (List.map clean row)) rows;
+      List.length (render_lines t) >= List.length rows + 2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "layout" `Quick test_basic_layout;
+          Alcotest.test_case "alignment" `Quick test_right_alignment;
+          Alcotest.test_case "short rows" `Quick test_short_rows_padded;
+          Alcotest.test_case "too long" `Quick test_too_long_row;
+          Alcotest.test_case "float rows" `Quick test_float_row;
+          Alcotest.test_case "fmt_g" `Quick test_fmt_g;
+        ] );
+      ("properties", [ q prop_render_row_count ]);
+    ]

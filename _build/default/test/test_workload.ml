@@ -1,0 +1,145 @@
+(* Tests for the workload generators: shapes, determinism, solvability. *)
+
+module W = Suu_workload.Workload
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+module Classify = Suu_dag.Classify
+
+let uniform = W.Uniform { lo = 0.2; hi = 0.95 }
+
+let q_in_range inst =
+  let ok = ref true in
+  for i = 0 to Instance.m inst - 1 do
+    for j = 0 to Instance.n inst - 1 do
+      let q = Instance.q inst i j in
+      if not (q >= 0.0 && q <= 1.0) then ok := false
+    done
+  done;
+  !ok
+
+let test_every_hazard_valid () =
+  List.iter
+    (fun hazard ->
+      let inst = W.independent hazard ~n:15 ~m:6 ~seed:1 in
+      Alcotest.(check bool) (W.hazard_name hazard) true (q_in_range inst);
+      Alcotest.(check int) "n" 15 (Instance.n inst);
+      Alcotest.(check int) "m" 6 (Instance.m inst))
+    W.default_hazards
+
+let test_determinism () =
+  let a = W.independent uniform ~n:8 ~m:3 ~seed:42 in
+  let b = W.independent uniform ~n:8 ~m:3 ~seed:42 in
+  let same = ref true in
+  for i = 0 to 2 do
+    for j = 0 to 7 do
+      if Instance.q a i j <> Instance.q b i j then same := false
+    done
+  done;
+  Alcotest.(check bool) "same seed same matrix" true !same;
+  let c = W.independent uniform ~n:8 ~m:3 ~seed:43 in
+  let diff = ref false in
+  for i = 0 to 2 do
+    for j = 0 to 7 do
+      if Instance.q a i j <> Instance.q c i j then diff := true
+    done
+  done;
+  Alcotest.(check bool) "different seed differs" true !diff
+
+let test_independent_shape () =
+  let inst = W.independent uniform ~n:10 ~m:4 ~seed:2 in
+  match Classify.classify (Instance.dag inst) with
+  | Classify.Independent -> ()
+  | _ -> Alcotest.fail "expected independent"
+
+let test_chains_shape () =
+  let inst = W.chains uniform ~z:4 ~length:3 ~m:2 ~seed:3 in
+  Alcotest.(check int) "n = z * len" 12 (Instance.n inst);
+  match Classify.classify (Instance.dag inst) with
+  | Classify.Disjoint_chains chains ->
+      Alcotest.(check int) "z chains" 4 (List.length chains);
+      List.iter
+        (fun c -> Alcotest.(check int) "length" 3 (Array.length c))
+        chains
+  | _ -> Alcotest.fail "expected chains"
+
+let test_random_chains_shape () =
+  let inst = W.random_chains uniform ~n:17 ~z:5 ~m:3 ~seed:4 in
+  match Classify.classify (Instance.dag inst) with
+  | Classify.Disjoint_chains chains ->
+      Alcotest.(check int) "covers all" 17
+        (Suu_dag.Chains.total_jobs chains)
+  | Classify.Independent -> () (* all cuts adjacent: degenerate but legal *)
+  | _ -> Alcotest.fail "expected chains"
+
+let test_forest_shape () =
+  List.iter
+    (fun orientation ->
+      let inst = W.forest uniform ~n:20 ~trees:4 ~orientation ~m:3 ~seed:5 in
+      match Classify.classify (Instance.dag inst) with
+      | Classify.Directed_forest _ | Classify.Disjoint_chains _ -> ()
+      | _ -> Alcotest.fail "expected forest-compatible dag")
+    [ `Out; `In; `Mixed ]
+
+let test_mapreduce_shape () =
+  let inst = W.mapreduce uniform ~maps:4 ~reduces:3 ~m:2 ~seed:6 in
+  Alcotest.(check int) "n" 7 (Instance.n inst);
+  let g = Instance.dag inst in
+  Alcotest.(check int) "complete bipartite" 12 (Dag.num_edges g);
+  (* every reduce depends on every map *)
+  for b = 4 to 6 do
+    Alcotest.(check int) "in-degree" 4 (Dag.in_degree g b)
+  done
+
+let test_validation () =
+  Alcotest.(check bool)
+    "bad chains shape" true
+    (try
+       ignore (W.chains uniform ~z:0 ~length:3 ~m:2 ~seed:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "bad forest shape" true
+    (try
+       ignore (W.forest uniform ~n:2 ~trees:5 ~orientation:`Out ~m:2 ~seed:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_every_job_solvable =
+  QCheck.Test.make ~count:100 ~name:"every job has a sub-1 machine"
+    QCheck.(pair small_int (int_range 0 4))
+    (fun (seed, hz) ->
+      let hazard = List.nth W.default_hazards hz in
+      let inst = W.independent hazard ~n:12 ~m:4 ~seed in
+      let ok = ref true in
+      for j = 0 to 11 do
+        if Instance.q inst (Instance.best_machine inst j) j >= 1.0 then
+          ok := false
+      done;
+      !ok)
+
+let prop_forest_instances_decompose =
+  QCheck.Test.make ~count:100 ~name:"forest instances decompose"
+    QCheck.small_int (fun seed ->
+      let inst =
+        W.forest uniform ~n:15 ~trees:3 ~orientation:`Mixed ~m:3 ~seed
+      in
+      Suu_dag.Forest.decompose (Instance.dag inst) <> None)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "hazards valid" `Quick test_every_hazard_valid;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "independent" `Quick test_independent_shape;
+          Alcotest.test_case "chains" `Quick test_chains_shape;
+          Alcotest.test_case "random chains" `Quick test_random_chains_shape;
+          Alcotest.test_case "forest" `Quick test_forest_shape;
+          Alcotest.test_case "mapreduce" `Quick test_mapreduce_shape;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "properties",
+        [ q prop_every_job_solvable; q prop_forest_instances_decompose ] );
+    ]
