@@ -685,6 +685,106 @@ let a3 () =
 (* ------------------------------------------------------------------ *)
 (* perf — bechamel micro-benchmarks of the substrates. *)
 
+(* Macro side of perf: engine step rate and sequential-vs-parallel
+   replication throughput on an E1-style ratio sweep, recorded to
+   BENCH_perf.json so the perf trajectory is tracked across PRs.
+   SUU_PERF_SCALE=tiny shrinks everything to a CI smoke size. *)
+let perf_pipeline bechamel_rows =
+  section "perf: simulation pipeline (engine step rate, multicore scaling)";
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let n, m, reps = if tiny then (16, 4, 8) else (128, 8, 48) in
+  let seed = 777 in
+  let inst = W.independent W.Near_one ~n ~m ~seed:4242 in
+  (* Engine step rate: the greedy baseline is pure simulation (no LP),
+     so steps/s isolates the engine + policy hot path. *)
+  let greedy = Suu_core.Baselines.greedy_completion inst in
+  let g_ms, g_t =
+    time_it (fun () -> Runner.makespans ~jobs:1 inst greedy ~seed ~reps)
+  in
+  let g_steps = Array.fold_left ( +. ) 0.0 g_ms in
+  let step_rate = g_steps /. g_t in
+  note "engine step rate (greedy, n=%d m=%d, %d reps): %.3g steps/s \
+        (%.3g machine-steps/s)"
+    n m reps step_rate (float_of_int m *. step_rate);
+  (* Ratio-sweep throughput: SUU-I-SEM is the E1 workhorse; its LP plans
+     hit the per-policy plan cache after replication 1. *)
+  let policy () = Suu_core.Suu_i_sem.policy inst in
+  let seq, seq_t =
+    time_it (fun () -> Runner.makespans ~jobs:1 inst (policy ()) ~seed ~reps)
+  in
+  let cores = Suu_sim.Parallel.default_jobs () in
+  let domain_counts =
+    List.sort_uniq compare
+      (List.filter (fun d -> d <= max 1 reps) [ 1; 2; 4; cores ])
+  in
+  let table =
+    Table.create ~header:[ "domains"; "time (s)"; "reps/s"; "speedup"; "identical" ]
+  in
+  let par_rows =
+    List.map
+      (fun d ->
+        let xs, t =
+          time_it (fun () ->
+              Suu_sim.Parallel.makespans ~domains:d inst ~policy ~seed ~reps)
+        in
+        let same = xs = seq in
+        Table.add_row table
+          [ string_of_int d; Table.fmt_g t;
+            Table.fmt_g (float_of_int reps /. t);
+            Table.fmt_g (seq_t /. t); (if same then "yes" else "NO") ];
+        (d, t, seq_t /. t, same))
+      domain_counts
+  in
+  note "sequential baseline (jobs=1): %.3g s (%.3g reps/s)" seq_t
+    (float_of_int reps /. seq_t);
+  Table.print table;
+  note "\navailable domains (SUU_JOBS or recommended): %d" cores;
+  (* JSON record. *)
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"experiment\": \"perf\",\n";
+  bpf "  \"scale\": \"%s\",\n" (if tiny then "tiny" else "full");
+  bpf "  \"available_domains\": %d,\n" cores;
+  bpf "  \"engine\": {\n";
+  bpf "    \"workload\": \"near-one n=%d m=%d reps=%d\",\n" n m reps;
+  bpf "    \"policy\": \"greedy\",\n";
+  bpf "    \"steps_per_sec\": %.6g,\n" step_rate;
+  bpf "    \"machine_steps_per_sec\": %.6g\n" (float_of_int m *. step_rate);
+  bpf "  },\n";
+  bpf "  \"ratio_sweep\": {\n";
+  bpf "    \"workload\": \"near-one n=%d m=%d reps=%d\",\n" n m reps;
+  bpf "    \"policy\": \"suu-i-sem\",\n";
+  bpf "    \"sequential_sec\": %.6g,\n" seq_t;
+  bpf "    \"parallel\": [\n";
+  List.iteri
+    (fun i (d, t, speedup, same) ->
+      bpf
+        "      {\"domains\": %d, \"sec\": %.6g, \"speedup\": %.4g, \
+         \"bit_identical\": %b}%s\n"
+        d t speedup same
+        (if i = List.length par_rows - 1 then "" else ","))
+    par_rows;
+  bpf "    ]\n";
+  bpf "  },\n";
+  bpf "  \"bechamel_ns_per_run\": {\n";
+  let sorted = List.sort compare bechamel_rows in
+  List.iteri
+    (fun i (name, est, _) ->
+      bpf "    %S: %.6g%s\n" name est
+        (if i = List.length sorted - 1 then "" else ","))
+    sorted;
+  bpf "  }\n";
+  bpf "}\n";
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  note "\nwrote BENCH_perf.json"
+
 let perf () =
   section "perf: bechamel micro-benchmarks (ns per run, OLS estimate)";
   let open Bechamel in
@@ -792,7 +892,8 @@ let perf () =
       in
       Table.add_row table [ name; human; Table.fmt_g r2 ])
     (List.sort compare !rows);
-  Table.print table
+  Table.print table;
+  perf_pipeline !rows
 
 (* ------------------------------------------------------------------ *)
 

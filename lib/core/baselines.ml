@@ -8,9 +8,11 @@ let active_jobs ~remaining ~eligible =
 let greedy_completion inst =
   let m = Instance.m inst in
   let n = Instance.n inst in
-  let survival = Array.make n 1.0 in
-  let buf = Array.make m (-1) in
+  (* Scratch lives in the stepper, not the policy value: steppers from
+     one policy may run concurrently on different domains. *)
   Policy.make ~name:"greedy" ~fresh:(fun _rng ->
+      let survival = Array.make n 1.0 in
+      let buf = Array.make m (-1) in
       fun ~time:_ ~remaining ~eligible ->
         let active = active_jobs ~remaining ~eligible in
         List.iter (fun j -> survival.(j) <- 1.0) active;
@@ -32,8 +34,8 @@ let greedy_completion inst =
 
 let round_robin inst =
   let m = Instance.m inst in
-  let buf = Array.make m (-1) in
   Policy.make ~name:"round-robin" ~fresh:(fun _rng ->
+      let buf = Array.make m (-1) in
       fun ~time ~remaining ~eligible ->
         let active = Array.of_list (active_jobs ~remaining ~eligible) in
         let e = Array.length active in

@@ -1,0 +1,68 @@
+(* The LP1 → Lemma-2 rounding → oblivious-serialization pipeline is a
+   pure function of (instance, solver, round, survivor set): the target
+   is L_k = 2^(k-2) from the round alone, and nothing in the pipeline
+   sees the trace.  Policies that are oblivious within a round — the
+   SUU-I family — recompute identical plans on every replication; memoizing
+   here turns the per-replication LP cost into a per-survivor-set one. *)
+
+type key = int * int array (* round, survivors (ascending) *)
+
+type t = {
+  solver : Solver_choice.t option;
+  inst : Instance.t;
+  lock : Mutex.t;
+  table : (key, Oblivious.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Distinct survivor sets are trace-dependent, so the table can in
+   principle grow without bound across replications; past this size we
+   solve without storing (the common sets — every round-1 set, and the
+   high-threshold survivor sets that recur across traces — are cached
+   long before). *)
+let max_entries = 4096
+
+let create ?solver inst =
+  { solver; inst; lock = Mutex.create (); table = Hashtbl.create 64;
+    hits = 0; misses = 0 }
+
+let fresh_plan ?solver inst ~round ~survivors =
+  if Array.length survivors = 0 then
+    invalid_arg "Plan_cache.fresh_plan: empty survivor set";
+  let target = Mathx.target_for_round round in
+  let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:survivors ~target in
+  let rounded =
+    Rounding.round inst ~jobs:survivors ~target ~frac:x ~frac_value:value
+  in
+  Oblivious.of_assignment rounded
+
+let plan t ~round ~survivors =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table (round, survivors) with
+  | Some p ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      p
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Solve under the lock: concurrent replications of the same
+         instance mostly want the same plan, so serializing the solve
+         lets every other domain reuse it instead of re-deriving it. *)
+      let finish () =
+        let p = fresh_plan ?solver:t.solver t.inst ~round ~survivors in
+        if Hashtbl.length t.table < max_entries then
+          Hashtbl.add t.table (round, Array.copy survivors) p;
+        Mutex.unlock t.lock;
+        p
+      in
+      (try finish ()
+       with e ->
+         Mutex.unlock t.lock;
+         raise e)
+
+let stats t =
+  Mutex.lock t.lock;
+  let r = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,37 @@
+(** Memoized round plans for within-round-oblivious policies.
+
+    The per-round plan pipeline — solve (LP1) on the survivors with
+    target [L_k = 2^(k-2)], round by Lemma 2, serialize into an
+    oblivious schedule — depends only on [(round, survivor set)], never
+    on the trace.  Replications of the same instance therefore share a
+    cache (one per policy value), created by the policy constructor and
+    consulted by every execution's stepper.
+
+    Thread-safe: a mutex guards the table, so one policy value may be
+    driven from many domains (the parallel {!Suu_sim.Runner}).  The
+    solve for a missing key runs under the lock — concurrent
+    replications want the same plans, so serializing the solve lets the
+    other domains reuse the result instead of re-deriving it.  The
+    table is capped (4096 entries); past the cap, plans are computed
+    without being stored. *)
+
+type t
+
+val create : ?solver:Solver_choice.t -> Instance.t -> t
+(** A fresh, empty cache for [inst]. *)
+
+val plan : t -> round:int -> survivors:int array -> Oblivious.t
+(** [plan t ~round ~survivors] is the round-[round] oblivious plan for
+    the (ascending) survivor set, computed on first use and cached.
+    Cached hits return the same physical plan (plans are immutable).
+    Raises [Invalid_argument] on an empty survivor set. *)
+
+val fresh_plan :
+  ?solver:Solver_choice.t -> Instance.t -> round:int ->
+  survivors:int array -> Oblivious.t
+(** The uncached pipeline: what {!plan} computes on a miss.  Exposed so
+    tests can check cached plans against freshly solved ones, and for
+    one-shot users ({!Suu_i_obl} builds its single plan once). *)
+
+val stats : t -> int * int
+(** [(hits, misses)] so far. *)

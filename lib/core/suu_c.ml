@@ -112,13 +112,22 @@ let policy_of_prepared ?solver ?stats ?(random_delays = true)
         Array.map (fun j -> if is_long.(j) then Pause j else Short j) chain)
       chain_arr
   in
-  let record_superstep duration =
+  (* The stats sink is shared by every stepper of this policy value, and
+     steppers may run concurrently (parallel runner) — serialize updates. *)
+  let stats_lock = Mutex.create () in
+  let with_stats f =
     match stats with
     | None -> ()
     | Some s ->
+        Mutex.lock stats_lock;
+        f s;
+        Mutex.unlock stats_lock
+  in
+  let record_superstep duration =
+    with_stats (fun s ->
         s.supersteps <- s.supersteps + 1;
         s.total_congestion <- s.total_congestion + duration;
-        if duration > s.max_congestion then s.max_congestion <- duration
+        if duration > s.max_congestion then s.max_congestion <- duration)
   in
   let fresh rng =
     (* Delays are drawn on a lattice of [delay_granularity] supersteps —
@@ -198,9 +207,7 @@ let policy_of_prepared ?solver ?stats ?(random_delays = true)
       match ex.mode with
       | Sem { step = inner; targets } ->
           if List.exists (fun j -> remaining.(j)) targets then begin
-            (match stats with
-            | Some s -> s.sem_steps <- s.sem_steps + 1
-            | None -> ());
+            with_stats (fun s -> s.sem_steps <- s.sem_steps + 1);
             inner ~time ~remaining ~eligible
           end
           else begin
@@ -213,9 +220,8 @@ let policy_of_prepared ?solver ?stats ?(random_delays = true)
             match pending_long ~remaining with
             | [] -> build_superstep ~time ~remaining ~eligible
             | targets ->
-                (match stats with
-                | Some s -> s.sem_invocations <- s.sem_invocations + 1
-                | None -> ());
+                with_stats (fun s ->
+                    s.sem_invocations <- s.sem_invocations + 1);
                 let inner_policy =
                   Suu_i_sem.policy ?solver ~jobs:(Array.of_list targets) inst
                 in

@@ -1,11 +1,9 @@
+(* The single LP1(J, 1/2) plan is round 1 of the shared pipeline
+   (L_1 = 1/2), computed once per policy value — the plan is oblivious,
+   so every replication replays the same schedule. *)
 let plan ?solver inst =
   let jobs = Array.init (Instance.n inst) (fun j -> j) in
-  let target = 0.5 in
-  let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs ~target in
-  let rounded =
-    Rounding.round inst ~jobs ~target ~frac:x ~frac_value:value
-  in
-  Oblivious.of_assignment rounded
+  Plan_cache.fresh_plan ?solver inst ~round:1 ~survivors:jobs
 
 let policy ?solver inst =
   let schedule = plan ?solver inst in

@@ -24,6 +24,10 @@ let policy ?solver ?jobs inst =
   if nscope = 0 then invalid_arg "Suu_i_sem.policy: empty job subset";
   let k_max = Mathx.rounds_k ~n:nscope ~m in
   let idle = Array.make m (-1) in
+  (* Round plans depend only on (round, survivor set) — not the trace —
+     so one cache in the policy value serves every replication (and
+     every domain driving this policy concurrently). *)
+  let cache = Plan_cache.create ?solver inst in
   let fresh _rng =
     let st = { mode = Rounds; round = 1; plan = None; pos = 0 } in
     let survivors remaining =
@@ -32,14 +36,7 @@ let policy ?solver ?jobs inst =
     let start_round remaining =
       let js = survivors remaining in
       if Array.length js = 0 then None
-      else begin
-        let target = Mathx.target_for_round st.round in
-        let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:js ~target in
-        let rounded =
-          Rounding.round inst ~jobs:js ~target ~frac:x ~frac_value:value
-        in
-        Some (Oblivious.of_assignment rounded)
-      end
+      else Some (Plan_cache.plan cache ~round:st.round ~survivors:js)
     in
     let rec step ~time ~remaining ~eligible =
       match st.mode with

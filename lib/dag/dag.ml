@@ -3,20 +3,64 @@ type t = {
   pred : int list array; (* ascending *)
   succ : int list array; (* ascending *)
   nedges : int;
+  (* Packed CSR mirrors of [pred]/[succ] for allocation-free traversal on
+     hot paths (the simulator's incremental eligibility updates).  Node
+     [j]'s neighbours are [tgt.(off.(j)) .. tgt.(off.(j+1) - 1)], in the
+     same ascending order as the lists. *)
+  pred_off : int array; (* n + 1 offsets *)
+  pred_tgt : int array;
+  succ_off : int array;
+  succ_tgt : int array;
 }
+
+(* Build the CSR arrays from ascending adjacency lists. *)
+let csr_of_lists n adj nedges =
+  let off = Array.make (n + 1) 0 in
+  let tgt = Array.make nedges 0 in
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    off.(j) <- !k;
+    List.iter
+      (fun v ->
+        tgt.(!k) <- v;
+        incr k)
+      adj.(j)
+  done;
+  off.(n) <- !k;
+  (off, tgt)
+
+let make_internal n pred succ nedges =
+  let pred_off, pred_tgt = csr_of_lists n pred nedges in
+  let succ_off, succ_tgt = csr_of_lists n succ nedges in
+  { n; pred; succ; nedges; pred_off; pred_tgt; succ_off; succ_tgt }
 
 let empty n =
   if n < 0 then invalid_arg "Dag.empty: negative size";
-  { n; pred = Array.make (max n 1) []; succ = Array.make (max n 1) [];
-    nedges = 0 }
+  make_internal n (Array.make (max n 1) []) (Array.make (max n 1) []) 0
 
 let size t = t.n
 let num_edges t = t.nedges
 let preds t j = t.pred.(j)
 let succs t j = t.succ.(j)
-let in_degree t j = List.length t.pred.(j)
-let out_degree t j = List.length t.succ.(j)
+let in_degree t j = t.pred_off.(j + 1) - t.pred_off.(j)
+let out_degree t j = t.succ_off.(j + 1) - t.succ_off.(j)
 let is_edgeless t = t.nedges = 0
+
+let pred_csr t = (t.pred_off, t.pred_tgt)
+let succ_csr t = (t.succ_off, t.succ_tgt)
+
+let iter_succs t j f =
+  for k = t.succ_off.(j) to t.succ_off.(j + 1) - 1 do
+    f t.succ_tgt.(k)
+  done
+
+let iter_preds t j f =
+  for k = t.pred_off.(j) to t.pred_off.(j + 1) - 1 do
+    f t.pred_tgt.(k)
+  done
+
+let in_degrees t =
+  Array.init t.n (fun j -> t.pred_off.(j + 1) - t.pred_off.(j))
 
 let edges t =
   let acc = ref [] in
@@ -78,7 +122,7 @@ let of_edges ~n edge_list =
   Array.iteri (fun j l -> pred.(j) <- List.sort compare l) pred;
   Array.iteri (fun j l -> succ.(j) <- List.sort compare l) succ;
   let (_ : int array) = topo_exn n pred succ in
-  { n; pred; succ; nedges = !count }
+  make_internal n pred succ !count
 
 let topological_order t = topo_exn t.n t.pred t.succ
 

@@ -27,6 +27,30 @@ val succs : t -> int -> int list
 val in_degree : t -> int -> int
 val out_degree : t -> int -> int
 
+val pred_csr : t -> int array * int array
+(** [(off, tgt) = pred_csr t]: packed predecessor adjacency.  Node [j]'s
+    predecessors are [tgt.(off.(j)) .. tgt.(off.(j + 1) - 1)], ascending —
+    the same contents as {!preds} without per-node list cells, for
+    allocation-free traversal on hot paths.  The arrays are owned by [t]:
+    treat as read-only. *)
+
+val succ_csr : t -> int array * int array
+(** Packed successor adjacency; see {!pred_csr}. *)
+
+val iter_preds : t -> int -> (int -> unit) -> unit
+(** [iter_preds t j f] applies [f] to each direct predecessor of [j],
+    ascending, without allocating. *)
+
+val iter_succs : t -> int -> (int -> unit) -> unit
+(** [iter_succs t j f] applies [f] to each direct successor of [j],
+    ascending, without allocating. *)
+
+val in_degrees : t -> int array
+(** [in_degrees t] is a fresh array of every node's in-degree — the
+    initial remaining-predecessor counters for incremental eligibility
+    tracking (decrement on completion; a node becomes eligible when its
+    counter reaches zero). *)
+
 val edges : t -> (int * int) list
 (** All edges, in lexicographic order. *)
 

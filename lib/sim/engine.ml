@@ -11,6 +11,12 @@ type result = {
   idle_steps : int;
 }
 
+(* Completion uses a tolerance *relative* to the threshold: the accrued
+   mass is a sum of floats of the threshold's magnitude, so its roundoff
+   scales with w_j — an absolute epsilon under-completes for large w_j.
+   [1.0] floors the scale so tiny thresholds keep the old behaviour. *)
+let completion_slack w = 1e-12 *. Float.max 1.0 w
+
 let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
   let n = Instance.n inst in
   let m = Instance.m inst in
@@ -18,27 +24,50 @@ let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
   let g = Instance.dag inst in
   let remaining = Array.make n true in
   let mass = Array.make n 0.0 in
-  let eligible = Array.make n false in
   let completed = Array.make n false in
-  let refresh_eligible () =
-    for j = 0 to n - 1 do
-      eligible.(j) <-
-        remaining.(j) && Suu_dag.Dag.eligible g ~completed j
-    done
-  in
+  let w = Array.init n (Trace.threshold trace) in
+  let w_lo = Array.map (fun x -> x -. completion_slack x) w in
   let left = ref n in
   (* Zero thresholds (r_j = 1) complete with no work at all. *)
   for j = 0 to n - 1 do
-    if Trace.threshold trace j <= 0.0 then begin
+    if w.(j) <= 0.0 then begin
       remaining.(j) <- false;
       completed.(j) <- true;
       decr left
     end
   done;
-  refresh_eligible ();
+  (* Incremental eligibility: count each job's uncompleted predecessors
+     once; decrement on completion and promote at zero.  No O(n) rescans
+     after this point. *)
+  let pred_off, pred_tgt = Suu_dag.Dag.pred_csr g in
+  let succ_off, succ_tgt = Suu_dag.Dag.succ_csr g in
+  let npred = Array.make n 0 in
+  let eligible = Array.make n false in
+  for j = 0 to n - 1 do
+    let c = ref 0 in
+    for k = pred_off.(j) to pred_off.(j + 1) - 1 do
+      if not completed.(pred_tgt.(k)) then incr c
+    done;
+    npred.(j) <- !c;
+    eligible.(j) <- remaining.(j) && !c = 0
+  done;
+  let complete j =
+    remaining.(j) <- false;
+    completed.(j) <- true;
+    eligible.(j) <- false;
+    decr left;
+    for k = succ_off.(j) to succ_off.(j + 1) - 1 do
+      let s = succ_tgt.(k) in
+      npred.(s) <- npred.(s) - 1;
+      if npred.(s) = 0 && remaining.(s) then eligible.(s) <- true
+    done
+  in
   let stepper = Policy.fresh policy (Suu_prng.Rng.split rng) in
   let busy = ref 0 and wasted = ref 0 and idle = ref 0 in
   let time = ref 0 in
+  (* Scratch for jobs that gained mass this step: at most one push per
+     machine, reused across steps (no per-step list cells). *)
+  let touched = Array.make (max m 1) 0 in
   while !left > 0 do
     if !time >= cap then raise (Horizon_exceeded cap);
     let a = stepper ~time:!time ~remaining ~eligible in
@@ -50,7 +79,7 @@ let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
         (Invalid_schedule
            (Printf.sprintf "%s: assignment has %d entries for %d machines"
               (Policy.name policy) (Array.length a) m));
-    let touched = ref [] in
+    let ntouched = ref 0 in
     for i = 0 to m - 1 do
       let j = a.(i) in
       if j = -1 then incr idle
@@ -68,25 +97,18 @@ let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
                 (Policy.name policy) i j !time))
       else begin
         incr busy;
-        if mass.(j) < Trace.threshold trace j then begin
+        if mass.(j) < w.(j) then begin
           mass.(j) <- mass.(j) +. Instance.log_failure inst i j;
-          touched := j :: !touched
+          touched.(!ntouched) <- j;
+          incr ntouched
         end
       end
     done;
     (* Completions take effect at the end of the unit step. *)
-    let any_completed = ref false in
-    List.iter
-      (fun j ->
-        if remaining.(j) && mass.(j) >= Trace.threshold trace j -. 1e-12
-        then begin
-          remaining.(j) <- false;
-          completed.(j) <- true;
-          decr left;
-          any_completed := true
-        end)
-      !touched;
-    if !any_completed then refresh_eligible ();
+    for k = 0 to !ntouched - 1 do
+      let j = touched.(k) in
+      if remaining.(j) && mass.(j) >= w_lo.(j) then complete j
+    done;
     incr time
   done;
   { makespan = !time; busy_steps = !busy; wasted_steps = !wasted;

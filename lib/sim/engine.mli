@@ -3,9 +3,16 @@
     Drives a {!Suu_core.Policy.t} step by step over a fixed {!Trace.t}:
     at each unit step the policy's assignment adds
     [l_ij = -log2 q_ij] of log mass to each assigned job; a job completes
-    once its mass reaches its threshold.  The engine enforces the model's
-    rules strictly — assigning an uncompleted, ineligible job raises
-    {!Invalid_schedule} — and records utilization counters. *)
+    once its mass reaches its threshold (up to a roundoff tolerance
+    *relative* to the threshold, since the accrued sum's error scales
+    with [w_j]).  The engine enforces the model's rules strictly —
+    assigning an uncompleted, ineligible job raises {!Invalid_schedule} —
+    and records utilization counters.
+
+    Eligibility is tracked incrementally: each job carries a
+    remaining-predecessor counter (seeded from the dag's packed CSR
+    adjacency) that is decremented when a predecessor completes, so a
+    completion costs O(out-degree), not an O(n) rescan. *)
 
 exception Invalid_schedule of string
 (** A policy violated the model (ineligible assignment, bad job index). *)

@@ -1,31 +1,97 @@
+let default_jobs () =
+  match Sys.getenv_opt "SUU_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "SUU_JOBS must be a positive integer, got %S" s))
+
+(* Chunked dynamic scheduling over [0, n): workers claim chunk indices
+   from a shared atomic counter, so uneven per-item costs (simulations
+   whose makespans differ wildly) still balance.  [local] builds one
+   worker-private state per domain (policies are not domain-safe to
+   share mid-execution); the body writes only to disjoint result slots,
+   so no further synchronization is needed. *)
+let run_chunks ~jobs ~chunk ~n ~local body =
+  if n > 0 then begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then begin
+      let st = local () in
+      for i = 0 to n - 1 do
+        body st i
+      done
+    end
+    else begin
+      let chunk = max 1 chunk in
+      let nchunks = ((n + chunk - 1) / chunk) in
+      let next = Atomic.make 0 in
+      let worker () =
+        let st = local () in
+        let rec loop () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            for i = lo to hi - 1 do
+              body st i
+            done;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned
+    end
+  end
+
+(* Aim for several chunks per worker so the tail balances, without
+   grinding the atomic counter on tiny items. *)
+let auto_chunk ~jobs ~n = max 1 (n / (4 * jobs))
+
+let parallel_for ?jobs ?chunk ~n f =
+  let jobs = match jobs with Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Parallel.parallel_for: jobs must be positive"
+    | None -> default_jobs ()
+  in
+  let chunk =
+    match chunk with Some c -> c | None -> auto_chunk ~jobs ~n
+  in
+  run_chunks ~jobs ~chunk ~n ~local:(fun () -> ()) (fun () i -> f i)
+
+let parallel_map ?jobs ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result array from item 0 (computed on the caller's
+       domain) to avoid an option-per-slot dance. *)
+    let out = Array.make n (f a.(0)) in
+    parallel_for ?jobs ?chunk ~n:(n - 1) (fun i ->
+        out.(i + 1) <- f a.(i + 1));
+    out
+  end
+
 let makespans ?cap ?domains inst ~policy ~seed ~reps =
   if reps <= 0 then invalid_arg "Parallel.makespans: reps must be positive";
-  let domains =
+  let jobs =
     match domains with
     | Some d when d <= 0 ->
         invalid_arg "Parallel.makespans: domains must be positive"
     | Some d -> min d reps
-    | None -> min (Domain.recommended_domain_count ()) reps
+    | None -> min (default_jobs ()) reps
   in
-  let rngs = Runner.rep_rngs ~seed ~reps in
+  let rngs = Seeds.rep_rngs ~seed ~reps in
   let results = Array.make reps 0.0 in
   let n = Suu_core.Instance.n inst in
-  (* Static block partition: domain d owns replications [lo, hi). *)
-  let worker d () =
-    let pol = policy () in
-    let lo = d * reps / domains and hi = (d + 1) * reps / domains in
-    for k = lo to hi - 1 do
+  run_chunks ~jobs ~chunk:(auto_chunk ~jobs ~n:reps) ~n:reps ~local:policy
+    (fun pol k ->
       let trace_rng, policy_rng = rngs.(k) in
       let trace = Trace.draw ~n trace_rng in
       results.(k) <-
-        float_of_int (Engine.makespan ?cap inst pol ~trace ~rng:policy_rng)
-    done
-  in
-  let spawned =
-    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
-  in
-  worker 0 ();
-  List.iter Domain.join spawned;
+        float_of_int (Engine.makespan ?cap inst pol ~trace ~rng:policy_rng));
   results
 
 let expected_makespan ?cap ?domains inst ~policy ~seed ~reps =

@@ -1,16 +1,39 @@
-(** Multicore replication (OCaml 5 domains).
+(** Multicore execution substrate (OCaml 5 domains, stdlib only).
+
+    A small fork/join pool: each call spawns [jobs - 1] worker domains
+    (the caller's domain is the first worker), partitions the index
+    space into chunks, and lets workers claim chunks from a shared
+    atomic counter — dynamic scheduling, so items with wildly uneven
+    costs (simulated executions) still balance.
+
+    The worker count defaults to the [SUU_JOBS] environment variable
+    when set, else [Domain.recommended_domain_count ()]; every entry
+    point takes an explicit override.
 
     Replications are embarrassingly parallel: each runs an independent
-    trace.  This module fans the per-replication work of {!Runner} out
-    over domains, with bit-identical results: the per-replication
-    generators come from {!Runner.rep_rngs}, so
-    [Parallel.makespans ~domains:k] equals [Runner.makespans] for every
-    [k].
+    trace.  {!makespans} fans the per-replication work of {!Runner} out
+    over domains with bit-identical results: the per-replication
+    generators come from {!Runner.rep_rngs}, each replication writes
+    only its own result slot, so [makespans ~domains:k] equals the
+    sequential run for every [k].
 
     Policies are created per domain through a factory, because a policy
-    value may close over scratch buffers that are not safe to share
-    (e.g. the greedy baselines' per-step arrays, or SUU-C's stats
-    sink). *)
+    value may close over scratch buffers or caches that are cheaper to
+    keep unshared (each domain then owns a private plan cache). *)
+
+val default_jobs : unit -> int
+(** [SUU_JOBS] when set (raises [Invalid_argument] if it is not a
+    positive integer), else [Domain.recommended_domain_count ()]. *)
+
+val parallel_for : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f 0 .. f (n - 1)] across [jobs] domains in
+    chunks of [chunk] (default: a few chunks per worker).  [f] must be
+    safe to run concurrently on distinct indices.  Exceptions raised by
+    a worker are re-raised at the join. *)
+
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f a] is [Array.map f a] across domains.  [f a.(0)]
+    runs first on the caller's domain (it seeds the result array). *)
 
 val makespans :
   ?cap:int ->
@@ -21,9 +44,10 @@ val makespans :
   reps:int ->
   float array
 (** [makespans inst ~policy ~seed ~reps] runs [reps] executions across
-    [domains] domains (default: [Domain.recommended_domain_count],
-    capped at [reps]).  [policy ()] is called once per domain.  Raises
-    [Invalid_argument] on non-positive [reps] or [domains]. *)
+    [domains] domains (default: {!default_jobs}, capped at [reps]).
+    [policy ()] is called once per domain.  Bit-identical to
+    {!Runner.makespans} with the same seed.  Raises [Invalid_argument]
+    on non-positive [reps] or [domains]. *)
 
 val expected_makespan :
   ?cap:int ->

@@ -1,28 +1,24 @@
-(* Per-rep generators are derived in a deterministic order (explicit loop
-   — Array.init's effect order is unspecified), so run k always sees the
-   same trace regardless of how many reps follow. *)
-let rep_rngs ~seed ~reps =
-  let master = Suu_prng.Rng.create ~seed in
-  let pairs = Array.make reps None in
-  for k = 0 to reps - 1 do
-    let trace_rng = Suu_prng.Rng.split master in
-    let policy_rng = Suu_prng.Rng.split master in
-    pairs.(k) <- Some (trace_rng, policy_rng)
-  done;
-  Array.map (function Some p -> p | None -> assert false) pairs
+let rep_rngs = Seeds.rep_rngs
 
-let makespans ?cap inst policy ~seed ~reps =
+let makespans ?cap ?jobs inst policy ~seed ~reps =
   if reps <= 0 then invalid_arg "Runner.makespans: reps must be positive";
   let rngs = rep_rngs ~seed ~reps in
-  Array.map
-    (fun (trace_rng, policy_rng) ->
-      let trace = Trace.draw ~n:(Suu_core.Instance.n inst) trace_rng in
-      float_of_int (Engine.makespan ?cap inst policy ~trace ~rng:policy_rng))
-    rngs
+  let results = Array.make reps 0.0 in
+  let n = Suu_core.Instance.n inst in
+  (* Replications fan out over domains; each writes only its own slot
+     and rngs.(k) is private to replication k, so results are
+     bit-identical to a sequential loop in replication order. *)
+  Parallel.parallel_for ?jobs ~n:reps (fun k ->
+      let trace_rng, policy_rng = rngs.(k) in
+      let trace = Trace.draw ~n trace_rng in
+      results.(k) <-
+        float_of_int (Engine.makespan ?cap inst policy ~trace ~rng:policy_rng));
+  results
 
-let expected_makespan ?cap inst policy ~seed ~reps =
-  let xs = makespans ?cap inst policy ~seed ~reps in
+let expected_makespan ?cap ?jobs inst policy ~seed ~reps =
+  let xs = makespans ?cap ?jobs inst policy ~seed ~reps in
   Array.fold_left ( +. ) 0.0 xs /. float_of_int reps
 
-let ratio_to_bound ?cap inst policy ~bound ~seed ~reps =
-  expected_makespan ?cap inst policy ~seed ~reps /. Float.max bound 1e-9
+let ratio_to_bound ?cap ?jobs inst policy ~bound ~seed ~reps =
+  expected_makespan ?cap ?jobs inst policy ~seed ~reps
+  /. Float.max bound 1e-9

@@ -246,6 +246,79 @@ let prop_topo_positions =
       Array.iteri (fun k j -> pos.(j) <- k) order;
       List.for_all (fun (a, b) -> pos.(a) < pos.(b)) (Dag.edges g))
 
+(* --- packed (CSR) adjacency --- *)
+
+let random_dag seed =
+  let rng = Suu_prng.Rng.create ~seed in
+  let n = 2 + Suu_prng.Rng.int rng 30 in
+  let perm = Array.init n Fun.id in
+  Suu_prng.Rng.shuffle rng perm;
+  let edges = ref [] in
+  for _ = 1 to 2 * n do
+    let a = Suu_prng.Rng.int rng n and b = Suu_prng.Rng.int rng n in
+    if a <> b then begin
+      let x, y = if perm.(a) < perm.(b) then (a, b) else (b, a) in
+      edges := (x, y) :: !edges
+    end
+  done;
+  (n, Dag.of_edges ~n !edges)
+
+let prop_csr_matches_lists =
+  QCheck.Test.make ~count:300 ~name:"CSR adjacency mirrors the list API"
+    QCheck.small_int (fun seed ->
+      let n, g = random_dag seed in
+      let slice (off, tgt) j =
+        Array.to_list (Array.sub tgt off.(j) (off.(j + 1) - off.(j)))
+      in
+      let collect iter j =
+        let acc = ref [] in
+        iter g j (fun v -> acc := v :: !acc);
+        List.rev !acc
+      in
+      let indeg = Dag.in_degrees g in
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        ok :=
+          !ok
+          && slice (Dag.pred_csr g) j = Dag.preds g j
+          && slice (Dag.succ_csr g) j = Dag.succs g j
+          && collect Dag.iter_preds j = Dag.preds g j
+          && collect Dag.iter_succs j = Dag.succs g j
+          && indeg.(j) = Dag.in_degree g j
+      done;
+      !ok)
+
+(* The engine's incremental-eligibility scheme: seed counters from
+   [in_degrees], decrement a successor's counter on each completion.
+   Along any completion order, counter = 0 must coincide with the
+   reference predicate [Dag.eligible] (all direct predecessors done). *)
+let prop_incremental_eligibility =
+  QCheck.Test.make ~count:300
+    ~name:"incremental predecessor counters match Dag.eligible"
+    QCheck.small_int (fun seed ->
+      let n, g = random_dag seed in
+      let rng = Suu_prng.Rng.create ~seed:(seed + 1) in
+      let order = Array.init n Fun.id in
+      Suu_prng.Rng.shuffle rng order;
+      let completed = Array.make n false in
+      let npred = Dag.in_degrees g in
+      let consistent () =
+        let ok = ref true in
+        for j = 0 to n - 1 do
+          if not completed.(j) then
+            ok := !ok && npred.(j) = 0 = Dag.eligible g ~completed j
+        done;
+        !ok
+      in
+      let ok = ref (consistent ()) in
+      Array.iter
+        (fun j ->
+          completed.(j) <- true;
+          Dag.iter_succs g j (fun s -> npred.(s) <- npred.(s) - 1);
+          ok := !ok && consistent ())
+        order;
+      !ok)
+
 (* --- classification --- *)
 
 let test_classify_independent () =
@@ -289,6 +362,8 @@ let () =
             test_topological_order;
           Alcotest.test_case "eligibility" `Quick test_eligible;
           Alcotest.test_case "components" `Quick test_components;
+          q prop_csr_matches_lists;
+          q prop_incremental_eligibility;
         ] );
       ( "chains",
         [

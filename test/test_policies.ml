@@ -113,6 +113,65 @@ let test_sem_repeat_tail_large_n () =
   in
   Alcotest.(check bool) "finished" true (mk > 0)
 
+(* --- round-plan caching --- *)
+
+let plans_equal a b =
+  let module O = Suu_core.Oblivious in
+  O.horizon a = O.horizon b
+  && O.machines a = O.machines b
+  && (let ok = ref true in
+      for k = 0 to O.horizon a - 1 do
+        ok := !ok && O.assignment_at a k = O.assignment_at b k
+      done;
+      !ok)
+
+let test_plan_cache_matches_fresh () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:10 ~m:4 ~seed:23 in
+  let cache = PC.create inst in
+  let all = Array.init 10 Fun.id in
+  let some = [| 1; 4; 5; 8 |] in
+  List.iter
+    (fun (round, survivors) ->
+      let cached = PC.plan cache ~round ~survivors in
+      let again = PC.plan cache ~round ~survivors in
+      Alcotest.(check bool) "second lookup hits (same plan)" true
+        (cached == again);
+      let fresh = PC.fresh_plan inst ~round ~survivors in
+      Alcotest.(check bool) "cached plan equals a fresh solve" true
+        (plans_equal cached fresh))
+    [ (1, all); (2, all); (1, some); (3, some) ];
+  let hits, misses = PC.stats cache in
+  Alcotest.(check int) "4 misses" 4 misses;
+  Alcotest.(check int) "4 hits" 4 hits
+
+let test_plan_cache_distinguishes_keys () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:8 ~m:3 ~seed:24 in
+  let cache = PC.create inst in
+  let a = PC.plan cache ~round:1 ~survivors:[| 0; 1; 2 |] in
+  let b = PC.plan cache ~round:2 ~survivors:[| 0; 1; 2 |] in
+  let c = PC.plan cache ~round:1 ~survivors:[| 0; 1; 3 |] in
+  Alcotest.(check bool) "round is part of the key" true (not (a == b));
+  Alcotest.(check bool) "survivors are part of the key" true (not (a == c));
+  Alcotest.(check bool) "empty survivors rejected" true
+    (try
+       ignore (PC.plan cache ~round:1 ~survivors:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* A key insertion copies the survivor array: mutating the caller's
+   array afterwards must not corrupt the cache. *)
+let test_plan_cache_key_isolation () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:8 ~m:3 ~seed:25 in
+  let cache = PC.create inst in
+  let survivors = [| 0; 1; 2 |] in
+  let a = PC.plan cache ~round:1 ~survivors in
+  survivors.(0) <- 5;
+  let b = PC.plan cache ~round:1 ~survivors:[| 0; 1; 2 |] in
+  Alcotest.(check bool) "original key still hits" true (a == b)
+
 let test_sem_beats_obl_near_one () =
   (* The doubling rounds should not lose to plain repetition on hazard
      rates near 1 (where repetitions pile up). *)
@@ -430,6 +489,15 @@ let () =
             test_sem_repeat_tail_large_n;
           Alcotest.test_case "near-one vs obl" `Slow
             test_sem_beats_obl_near_one;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "cached equals fresh" `Quick
+            test_plan_cache_matches_fresh;
+          Alcotest.test_case "key discrimination" `Quick
+            test_plan_cache_distinguishes_keys;
+          Alcotest.test_case "key isolation" `Quick
+            test_plan_cache_key_isolation;
         ] );
       ( "baselines",
         [

@@ -167,6 +167,19 @@ let test_engine_precedence_progress () =
   in
   Alcotest.(check int) "sequential" 2 mk
 
+(* Completion tolerance must scale with the threshold: 1000 unit steps
+   each adding l = -log2 0.3 accumulate ~3e-11 of roundoff against the
+   threshold 1000 * l — far beyond an absolute 1e-12 epsilon (which
+   cost a 1001st step), within the relative one. *)
+let test_engine_relative_epsilon () =
+  let inst = single_machine_inst 0.3 1 in
+  let l = -.(log 0.3 /. log 2.0) in
+  let trace = Trace.of_thresholds [| 1000.0 *. l |] in
+  let mk =
+    Engine.makespan inst (work_first inst) ~trace ~rng:(Rng.create ~seed:0)
+  in
+  Alcotest.(check int) "exactly 1000 steps" 1000 mk
+
 (* --- Theorem 10: SUU* equals SUU distributionally --- *)
 
 let test_suu_star_equivalence_single () =
@@ -394,6 +407,37 @@ let test_parallel_real_policy () =
   in
   Alcotest.(check bool) "identical" true (seq = par)
 
+(* Replications fan out over domains with bit-identical results, for
+   both the shared-policy Runner (?jobs) and the factory-based Parallel
+   runner, across random instances, seeds, and job counts. *)
+let prop_parallel_bit_identical =
+  QCheck.Test.make ~count:15
+    ~name:"parallel runners bit-identical to sequential"
+    QCheck.(triple small_int (int_range 1 11) (int_range 0 2))
+    (fun (seed, reps, shape) ->
+      let module W = Suu_workload.Workload in
+      let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+      let inst =
+        match shape with
+        | 0 -> W.independent uniform ~n:8 ~m:3 ~seed
+        | 1 -> W.chains uniform ~z:2 ~length:4 ~m:3 ~seed
+        | _ -> W.forest uniform ~n:9 ~trees:2 ~orientation:`Mixed ~m:3 ~seed
+      in
+      let policy = Suu_core.Auto.policy inst in
+      let seq = Runner.makespans ~jobs:1 inst policy ~seed:(seed + 1) ~reps in
+      let shared2 =
+        Runner.makespans ~jobs:2 inst policy ~seed:(seed + 1) ~reps
+      in
+      let shared5 =
+        Runner.makespans ~jobs:5 inst policy ~seed:(seed + 1) ~reps
+      in
+      let factory3 =
+        Suu_sim.Parallel.makespans ~domains:3 inst
+          ~policy:(fun () -> Suu_core.Auto.policy inst)
+          ~seed:(seed + 1) ~reps
+      in
+      seq = shared2 && seq = shared5 && seq = factory3)
+
 (* --- runner --- *)
 
 let test_runner_deterministic () =
@@ -416,6 +460,17 @@ let test_runner_validation () =
   Alcotest.check_raises "reps"
     (Invalid_argument "Runner.makespans: reps must be positive") (fun () ->
       ignore (Runner.makespans inst (work_first inst) ~seed:0 ~reps:0))
+
+(* The documented determinism contract: replication k's generators
+   depend on (seed, k) only, so extending a sweep re-runs the same
+   prefix of traces. *)
+let test_runner_rep_prefix () =
+  let inst = single_machine_inst 0.6 4 in
+  let short = Runner.makespans inst (work_first inst) ~seed:9 ~reps:6 in
+  let long = Runner.makespans inst (work_first inst) ~seed:9 ~reps:17 in
+  Alcotest.(check bool)
+    "first 6 of 17 identical" true
+    (Array.sub long 0 6 = short)
 
 let () =
   Alcotest.run "sim"
@@ -443,6 +498,8 @@ let () =
             test_engine_rejects_wrong_width;
           Alcotest.test_case "precedence" `Quick
             test_engine_precedence_progress;
+          Alcotest.test_case "relative completion epsilon" `Quick
+            test_engine_relative_epsilon;
         ] );
       ( "theorem-10",
         [
@@ -477,11 +534,14 @@ let () =
             test_parallel_matches_sequential;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
           Alcotest.test_case "lp policy" `Quick test_parallel_real_policy;
+          QCheck_alcotest.to_alcotest prop_parallel_bit_identical;
         ] );
       ( "runner",
         [
           Alcotest.test_case "determinism" `Quick test_runner_deterministic;
           Alcotest.test_case "ratio" `Quick test_runner_ratio;
           Alcotest.test_case "validation" `Quick test_runner_validation;
+          Alcotest.test_case "rep prefix determinism" `Quick
+            test_runner_rep_prefix;
         ] );
     ]
