@@ -896,12 +896,167 @@ let perf () =
   perf_pipeline !rows
 
 (* ------------------------------------------------------------------ *)
+(* serve — load-test the suu-serve daemon: an in-process server on an
+   ephemeral port, hammered by closed-loop client threads issuing a
+   mixed request distribution over a small instance pool (so the
+   server's instance and plan caches see both hits and misses).
+   Records throughput, latency quantiles, and the reject rate to
+   BENCH_serve.json, and checks determinism-over-the-wire: the same
+   simulate request must produce byte-identical responses regardless
+   of worker and domain counts. *)
+
+let serve_bench () =
+  section "serve: suu-serve load test (in-process daemon, closed-loop clients)";
+  let module Server = Suu_server.Server in
+  let module Client = Suu_server.Client in
+  let module P = Suu_server.Protocol in
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let clients = if tiny then 4 else 8 in
+  let per_client = if tiny then 30 else 250 in
+  let sim_reps = if tiny then 12 else 48 in
+  let workers = 4 and queue_capacity = 16 in
+  let config = { Server.default_config with workers; queue_capacity } in
+  let server = Server.start ~config () in
+  let port = Server.port server in
+  let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let pool =
+    [|
+      W.independent uniform ~n:12 ~m:4 ~seed:21;
+      W.independent W.Near_one ~n:16 ~m:4 ~seed:22;
+      W.random_chains uniform ~n:12 ~z:3 ~m:4 ~seed:23;
+      W.forest uniform ~n:12 ~trees:2 ~orientation:`Mixed ~m:4 ~seed:24;
+    |]
+  in
+  (* Mixed closed-loop distribution: simulate dominates (it is the
+     expensive request), the rest exercise parsing, caching and stats. *)
+  let pick_body rng =
+    let inst = pool.(Suu_prng.Rng.int rng (Array.length pool)) in
+    let roll = Suu_prng.Rng.int rng 100 in
+    if roll < 40 then
+      P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = roll }
+    else if roll < 65 then P.Plan { inst; policy = "auto"; seed = roll }
+    else if roll < 80 then P.Describe inst
+    else if roll < 95 then P.Lower_bound inst
+    else P.Stats
+  in
+  let t0 = Unix.gettimeofday () in
+  let slots = Array.make clients ([], 0, 0, 0) in
+  let client_threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Suu_prng.Rng.create ~seed:(9000 + i) in
+            let c = Client.connect ~port () in
+            let lats = ref [] and ok = ref 0 and rej = ref 0 and err = ref 0 in
+            for _ = 1 to per_client do
+              let body = pick_body rng in
+              let s = Unix.gettimeofday () in
+              (match Client.call c body with
+              | P.Ok _ -> incr ok
+              | P.Err { code = P.Overloaded; _ } -> incr rej
+              | P.Err _ -> incr err);
+              lats := (Unix.gettimeofday () -. s) :: !lats
+            done;
+            Client.close c;
+            slots.(i) <- (!lats, !ok, !rej, !err))
+          ())
+  in
+  List.iter Thread.join client_threads;
+  let results = Array.to_list slots in
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats_fields =
+    let c = Client.connect ~port () in
+    let fields = Client.stats c () in
+    Client.close c;
+    fields
+  in
+  Server.stop server;
+  let lats =
+    Array.of_list (List.concat_map (fun (l, _, _, _) -> l) results)
+  in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let ok = sum (fun (_, k, _, _) -> k) in
+  let rejects = sum (fun (_, _, r, _) -> r) in
+  let errors = sum (fun (_, _, _, e) -> e) in
+  let total = Array.length lats in
+  let q p = 1000.0 *. Summary.quantile lats p in
+  note "clients=%d requests=%d wall=%.2fs throughput=%.1f req/s" clients
+    total wall
+    (float_of_int total /. wall);
+  note "latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f" (q 0.5) (q 0.95)
+    (q 0.99) (q 1.0);
+  note "ok=%d rejected=%d errors=%d (reject rate %.1f%%)" ok rejects errors
+    (100.0 *. float_of_int rejects /. float_of_int (max 1 total));
+  let cache_stat k =
+    match List.assoc_opt k stats_fields with Some v -> v | None -> "0"
+  in
+  note "server counters: plan_cache_hits=%s plan_cache_misses=%s"
+    (cache_stat "plan_cache_hits")
+    (cache_stat "plan_cache_misses");
+  (* Determinism over the wire: the same simulate request must yield
+     byte-identical response frames at any worker/domain count. *)
+  let sim_body =
+    P.Simulate { inst = pool.(0); policy = "auto"; reps = sim_reps; seed = 5 }
+  in
+  let response_bytes ~workers ~sim_jobs =
+    let s =
+      Server.start
+        ~config:{ Server.default_config with workers; sim_jobs }
+        ()
+    in
+    let c = Client.connect ~port:(Server.port s) () in
+    let r = P.response_to_string (Client.call c sim_body) in
+    Client.close c;
+    Server.stop s;
+    r
+  in
+  let r1 = response_bytes ~workers:1 ~sim_jobs:(Some 1) in
+  let r4 = response_bytes ~workers:4 ~sim_jobs:(Some 4) in
+  let deterministic = String.equal r1 r4 in
+  note "simulate response bit-identical at (workers=1, jobs=1) vs \
+        (workers=4, jobs=4): %s"
+    (if deterministic then "yes" else "NO");
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"experiment\": \"serve\",\n";
+  bpf "  \"scale\": \"%s\",\n" (if tiny then "tiny" else "full");
+  bpf "  \"config\": {\"clients\": %d, \"per_client\": %d, \"workers\": %d, \
+       \"queue_capacity\": %d, \"sim_reps\": %d},\n"
+    clients per_client workers queue_capacity sim_reps;
+  bpf "  \"wall_sec\": %.6g,\n" wall;
+  bpf "  \"throughput_rps\": %.6g,\n" (float_of_int total /. wall);
+  bpf "  \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, \
+       \"max\": %.6g},\n"
+    (q 0.5) (q 0.95) (q 0.99) (q 1.0);
+  bpf "  \"ok\": %d,\n" ok;
+  bpf "  \"rejected\": %d,\n" rejects;
+  bpf "  \"errors\": %d,\n" errors;
+  bpf "  \"reject_rate\": %.6g,\n"
+    (float_of_int rejects /. float_of_int (max 1 total));
+  bpf "  \"plan_cache_hits\": %s,\n" (cache_stat "plan_cache_hits");
+  bpf "  \"plan_cache_misses\": %s,\n" (cache_stat "plan_cache_misses");
+  bpf "  \"deterministic_over_the_wire\": %b\n" deterministic;
+  bpf "}\n";
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  note "\nwrote BENCH_serve.json";
+  if errors > 0 then failwith "serve bench saw unexpected error responses";
+  if not deterministic then
+    failwith "serve bench: simulate responses differ across worker counts"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e1m", e1m); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2); ("a3", a3);
-    ("perf", perf);
+    ("perf", perf); ("serve", serve_bench);
   ]
 
 let () =

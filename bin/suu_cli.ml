@@ -103,25 +103,37 @@ let obtain_instance load shape hazard n m seed save =
   | None -> ());
   inst
 
+(* A malformed or missing --load file (or an unwritable --save path)
+   must exit with a one-line error, not a raw Failure backtrace. *)
+let with_instance load shape hazard n m seed save f =
+  match obtain_instance load shape hazard n m seed save with
+  | inst -> f inst
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Error (`Msg msg)
+
 (* --- describe --- *)
 
 let describe shape hazard n m seed load save =
-  let inst = obtain_instance load shape hazard n m seed save in
-  print_endline (Suu_core.Auto.describe inst);
-  Printf.printf "lower bounds on E[T_OPT]:\n";
-  Printf.printf "  LP1(J,1/2)/2 : %.3f\n" (Suu_core.Lower_bound.lp1_half inst);
-  Printf.printf "  critical path: %.3f\n"
-    (Suu_core.Lower_bound.critical_path inst);
-  Printf.printf "  work / m     : %.3f\n" (Suu_core.Lower_bound.work inst);
-  Printf.printf "  combined     : %.3f\n" (Suu_core.Lower_bound.combined inst)
+  with_instance load shape hazard n m seed save (fun inst ->
+      print_endline (Suu_core.Auto.describe inst);
+      Printf.printf "lower bounds on E[T_OPT]:\n";
+      Printf.printf "  LP1(J,1/2)/2 : %.3f\n"
+        (Suu_core.Lower_bound.lp1_half inst);
+      Printf.printf "  critical path: %.3f\n"
+        (Suu_core.Lower_bound.critical_path inst);
+      Printf.printf "  work / m     : %.3f\n" (Suu_core.Lower_bound.work inst);
+      Printf.printf "  combined     : %.3f\n"
+        (Suu_core.Lower_bound.combined inst);
+      Ok ())
 
 let describe_cmd =
   let doc = "Generate a workload and print its classification and bounds." in
   Cmd.v
     (Cmd.info "describe" ~doc)
     Term.(
-      const describe $ shape $ hazard $ n_jobs $ n_machines $ seed
-      $ load_arg $ save_arg)
+      term_result
+        (const describe $ shape $ hazard $ n_jobs $ n_machines $ seed
+        $ load_arg $ save_arg))
 
 (* --- simulate --- *)
 
@@ -147,30 +159,34 @@ let policies_for inst =
     ]
 
 let simulate shape hazard n m seed reps load =
-  let inst = obtain_instance load shape hazard n m seed None in
-  print_endline (Suu_core.Auto.describe inst);
-  let bound = Suu_core.Lower_bound.combined inst in
-  Printf.printf "combined lower bound: %.2f\n\n" bound;
-  let table =
-    Table.create ~header:[ "policy"; "E[T]"; "ci95"; "min"; "max"; "ratio" ]
-  in
-  List.iter
-    (fun (label, policy) ->
-      let xs = Suu_sim.Runner.makespans inst policy ~seed:(seed + 1) ~reps in
-      let s = Suu_stats.Summary.of_array xs in
-      Table.add_float_row table label
-        Suu_stats.Summary.
-          [ s.mean; s.ci95; s.min; s.max; s.mean /. bound ])
-    (policies_for inst);
-  Table.print table
+  with_instance load shape hazard n m seed None (fun inst ->
+      print_endline (Suu_core.Auto.describe inst);
+      let bound = Suu_core.Lower_bound.combined inst in
+      Printf.printf "combined lower bound: %.2f\n\n" bound;
+      let table =
+        Table.create ~header:[ "policy"; "E[T]"; "ci95"; "min"; "max"; "ratio" ]
+      in
+      List.iter
+        (fun (label, policy) ->
+          let xs =
+            Suu_sim.Runner.makespans inst policy ~seed:(seed + 1) ~reps
+          in
+          let s = Suu_stats.Summary.of_array xs in
+          Table.add_float_row table label
+            Suu_stats.Summary.
+              [ s.mean; s.ci95; s.min; s.max; s.mean /. bound ])
+        (policies_for inst);
+      Table.print table;
+      Ok ())
 
 let simulate_cmd =
   let doc = "Race the paper's algorithms against baselines on a workload." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const simulate $ shape $ hazard $ n_jobs $ n_machines $ seed $ reps
-      $ load_arg)
+      term_result
+        (const simulate $ shape $ hazard $ n_jobs $ n_machines $ seed $ reps
+        $ load_arg))
 
 (* --- optimal (tiny instances) --- *)
 
@@ -229,32 +245,177 @@ let stoch_cmd =
 (* --- gantt --- *)
 
 let gantt shape hazard n m seed load =
-  let inst = obtain_instance load shape hazard n m seed None in
-  print_endline (Suu_core.Auto.describe inst);
-  let policy = Suu_core.Auto.policy inst in
-  let rng = Suu_prng.Rng.create ~seed:(seed + 1) in
-  let trace = Suu_sim.Trace.draw ~n:(Suu_core.Instance.n inst) rng in
-  let result, steps = Suu_sim.Engine.run_recorded inst policy ~trace ~rng in
-  Printf.printf "policy %s, makespan %d (busy %d, wasted %d, idle %d)\n\n"
-    (Suu_core.Policy.name policy)
-    result.Suu_sim.Engine.makespan result.Suu_sim.Engine.busy_steps
-    result.Suu_sim.Engine.wasted_steps result.Suu_sim.Engine.idle_steps;
-  print_string (Suu_sim.Gantt.render steps);
-  print_newline ();
-  Array.iteri
-    (fun i u -> Printf.printf "machine %d utilization: %.0f%%\n" i (100. *. u))
-    (Suu_sim.Gantt.utilization steps)
+  with_instance load shape hazard n m seed None (fun inst ->
+      print_endline (Suu_core.Auto.describe inst);
+      let policy = Suu_core.Auto.policy inst in
+      let rng = Suu_prng.Rng.create ~seed:(seed + 1) in
+      let trace = Suu_sim.Trace.draw ~n:(Suu_core.Instance.n inst) rng in
+      let result, steps = Suu_sim.Engine.run_recorded inst policy ~trace ~rng in
+      Printf.printf "policy %s, makespan %d (busy %d, wasted %d, idle %d)\n\n"
+        (Suu_core.Policy.name policy)
+        result.Suu_sim.Engine.makespan result.Suu_sim.Engine.busy_steps
+        result.Suu_sim.Engine.wasted_steps result.Suu_sim.Engine.idle_steps;
+      print_string (Suu_sim.Gantt.render steps);
+      print_newline ();
+      Array.iteri
+        (fun i u ->
+          Printf.printf "machine %d utilization: %.0f%%\n" i (100. *. u))
+        (Suu_sim.Gantt.utilization steps);
+      Ok ())
 
 let gantt_cmd =
   let doc = "Run one execution and draw its schedule as an ASCII Gantt." in
   Cmd.v
     (Cmd.info "gantt" ~doc)
     Term.(
-      const gantt $ shape $ hazard $ n_jobs $ n_machines $ seed $ load_arg)
+      term_result
+        (const gantt $ shape $ hazard $ n_jobs $ n_machines $ seed $ load_arg))
+
+(* --- serve --- *)
+
+let serve host port workers queue deadline_ms sim_jobs =
+  Suu_server.Server.run
+    ~config:
+      {
+        Suu_server.Server.host;
+        port;
+        workers;
+        queue_capacity = queue;
+        default_deadline_ms = deadline_ms;
+        sim_jobs;
+      }
+    ()
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind or connect to.")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 picks an ephemeral port when serving).")
+
+let serve_cmd =
+  let doc = "Run the scheduling service daemon (SIGINT/SIGTERM drains)." in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"K" ~doc:"Worker thread count.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"Q"
+          ~doc:"Bounded request-queue capacity; overflow is rejected.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 30_000
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline in milliseconds.")
+  in
+  let sim_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sim-jobs" ] ~docv:"D"
+          ~doc:"Domains per simulate request (default: SUU_JOBS or cores).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ host_arg $ port_arg ~default:7483 $ workers $ queue
+      $ deadline $ sim_jobs)
+
+(* --- client --- *)
+
+let action_conv =
+  Arg.enum
+    [
+      ("describe", `Describe);
+      ("lower-bound", `Lower_bound);
+      ("plan", `Plan);
+      ("simulate", `Simulate);
+      ("stats", `Stats);
+    ]
+
+let client action host port policy reps seed deadline_ms shape hazard n m load
+    save =
+  let module C = Suu_server.Client in
+  let module P = Suu_server.Protocol in
+  let instance () = obtain_instance load shape hazard n m seed save in
+  try
+    let body =
+      match action with
+      | `Describe -> P.Describe (instance ())
+      | `Lower_bound -> P.Lower_bound (instance ())
+      | `Plan -> P.Plan { inst = instance (); policy; seed }
+      | `Simulate -> P.Simulate { inst = instance (); policy; reps; seed }
+      | `Stats -> P.Stats
+    in
+    let c = C.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> C.close c)
+      (fun () ->
+        match C.call c ?deadline_ms body with
+        | P.Ok { fields; _ } ->
+            List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) fields;
+            Ok ()
+        | P.Err { code; message; _ } ->
+            Error
+              (`Msg
+                (Printf.sprintf "server error [%s]: %s"
+                   (P.error_code_to_string code)
+                   message)))
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Error
+        (`Msg
+          (Printf.sprintf "cannot reach %s:%d: %s" host port
+             (Unix.error_message e)))
+  | C.Protocol_failure msg -> Error (`Msg msg)
+  | Failure msg | Invalid_argument msg | Sys_error msg -> Error (`Msg msg)
+
+let client_cmd =
+  let doc = "Send one request to a running suu-serve daemon." in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some action_conv) None
+      & info [] ~docv:"ACTION"
+          ~doc:"One of: describe, lower-bound, plan, simulate, stats.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "auto"
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"Policy for plan/simulate (auto picks by instance shape).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline override in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      term_result
+        (const client $ action $ host_arg $ port_arg ~default:7483 $ policy
+        $ reps $ seed $ deadline $ shape $ hazard $ n_jobs $ n_machines
+        $ load_arg $ save_arg))
 
 let () =
   let doc = "multiprocessor scheduling under uncertainty (SPAA 2008)" in
   let info = Cmd.info "suu" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd ]))
+       (Cmd.group info
+          [
+            describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd;
+            serve_cmd; client_cmd;
+          ]))

@@ -24,11 +24,16 @@ let to_string inst =
 (* A tiny line cursor with located error messages. *)
 type cursor = { lines : string array; mutable pos : int }
 
-let fail cur msg =
-  failwith (Printf.sprintf "Instance_io: line %d: %s" (cur.pos + 1) msg)
+let fail_at line msg =
+  failwith (Printf.sprintf "Instance_io: line %d: %s" line msg)
+
+(* [next] advances [pos] past the line it returns, so when a caller
+   rejects that line the 1-based offender is [pos] itself. *)
+let fail cur msg = fail_at cur.pos msg
 
 let next cur =
-  if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input";
+  if cur.pos >= Array.length cur.lines then
+    fail_at (cur.pos + 1) "unexpected end of input";
   let l = String.trim cur.lines.(cur.pos) in
   cur.pos <- cur.pos + 1;
   l

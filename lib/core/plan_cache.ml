@@ -7,25 +7,39 @@
 
 type key = int * int array (* round, survivors (ascending) *)
 
+type stats = { hits : int; misses : int; evictions : int }
+
 type t = {
   solver : Solver_choice.t option;
   inst : Instance.t;
   lock : Mutex.t;
   table : (key, Oblivious.t) Hashtbl.t;
+  order : key Queue.t; (* insertion order, for FIFO eviction *)
+  max_entries : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
+
+(* Process-wide aggregates: a resident server creates one cache per
+   policy value, so its stats endpoint wants the sum over all of them. *)
+let g_hits = Atomic.make 0
+let g_misses = Atomic.make 0
+let g_evictions = Atomic.make 0
 
 (* Distinct survivor sets are trace-dependent, so the table can in
    principle grow without bound across replications; past this size we
-   solve without storing (the common sets — every round-1 set, and the
-   high-threshold survivor sets that recur across traces — are cached
-   long before). *)
-let max_entries = 4096
+   evict the oldest half, keeping the recurring sets (every round-1 set,
+   and the high-threshold survivor sets that recur across traces) warm
+   in a long-lived process. *)
+let default_max_entries = 4096
 
-let create ?solver inst =
+let create ?solver ?(max_entries = default_max_entries) inst =
+  if max_entries <= 0 then
+    invalid_arg "Plan_cache.create: max_entries must be positive";
   { solver; inst; lock = Mutex.create (); table = Hashtbl.create 64;
-    hits = 0; misses = 0 }
+    order = Queue.create (); max_entries; hits = 0; misses = 0;
+    evictions = 0 }
 
 let fresh_plan ?solver inst ~round ~survivors =
   if Array.length survivors = 0 then
@@ -37,22 +51,38 @@ let fresh_plan ?solver inst ~round ~survivors =
   in
   Oblivious.of_assignment rounded
 
+(* Called with the lock held. *)
+let evict_half t =
+  let drop = max 1 (t.max_entries / 2) in
+  for _ = 1 to drop do
+    match Queue.take_opt t.order with
+    | Some k ->
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1;
+        Atomic.incr g_evictions
+    | None -> ()
+  done
+
 let plan t ~round ~survivors =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.table (round, survivors) with
   | Some p ->
       t.hits <- t.hits + 1;
+      Atomic.incr g_hits;
       Mutex.unlock t.lock;
       p
   | None ->
       t.misses <- t.misses + 1;
+      Atomic.incr g_misses;
       (* Solve under the lock: concurrent replications of the same
          instance mostly want the same plan, so serializing the solve
          lets every other domain reuse it instead of re-deriving it. *)
       let finish () =
         let p = fresh_plan ?solver:t.solver t.inst ~round ~survivors in
-        if Hashtbl.length t.table < max_entries then
-          Hashtbl.add t.table (round, Array.copy survivors) p;
+        if Hashtbl.length t.table >= t.max_entries then evict_half t;
+        let k = (round, Array.copy survivors) in
+        Hashtbl.add t.table k p;
+        Queue.add k t.order;
         Mutex.unlock t.lock;
         p
       in
@@ -63,6 +93,17 @@ let plan t ~round ~survivors =
 
 let stats t =
   Mutex.lock t.lock;
-  let r = (t.hits, t.misses) in
+  let r = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
   Mutex.unlock t.lock;
   r
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let global_stats () =
+  { hits = Atomic.get g_hits;
+    misses = Atomic.get g_misses;
+    evictions = Atomic.get g_evictions }

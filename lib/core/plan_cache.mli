@@ -12,13 +12,20 @@
     solve for a missing key runs under the lock — concurrent
     replications want the same plans, so serializing the solve lets the
     other domains reuse the result instead of re-deriving it.  The
-    table is capped (4096 entries); past the cap, plans are computed
-    without being stored. *)
+    table is bounded ([max_entries], default 4096); when an insertion
+    would exceed the bound the oldest half of the entries is evicted
+    (FIFO), so a long-lived process keeps caching recent survivor sets
+    instead of degrading to a solve per request. *)
 
 type t
 
-val create : ?solver:Solver_choice.t -> Instance.t -> t
-(** A fresh, empty cache for [inst]. *)
+type stats = { hits : int; misses : int; evictions : int }
+(** Monotone counters: lookups served from the table, lookups that
+    solved, and entries removed by the clear-half eviction. *)
+
+val create : ?solver:Solver_choice.t -> ?max_entries:int -> Instance.t -> t
+(** A fresh, empty cache for [inst].  [max_entries] bounds the table
+    (default 4096; raises [Invalid_argument] when not positive). *)
 
 val plan : t -> round:int -> survivors:int array -> Oblivious.t
 (** [plan t ~round ~survivors] is the round-[round] oblivious plan for
@@ -33,5 +40,13 @@ val fresh_plan :
     tests can check cached plans against freshly solved ones, and for
     one-shot users ({!Suu_i_obl} builds its single plan once). *)
 
-val stats : t -> int * int
-(** [(hits, misses)] so far. *)
+val stats : t -> stats
+(** This cache's counters so far. *)
+
+val size : t -> int
+(** Current number of cached plans. *)
+
+val global_stats : unit -> stats
+(** Counters aggregated over every cache created since process start —
+    what a resident server reports, since each policy value owns a
+    private cache. *)

@@ -1,0 +1,52 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { lock = Mutex.create (); nonempty = Condition.create ();
+    items = Queue.create (); capacity; closed = false }
+
+let try_push t x =
+  Mutex.lock t.lock;
+  let ok = (not t.closed) && Queue.length t.items < t.capacity in
+  if ok then begin
+    Queue.add x t.items;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some x -> Some x
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n
+
+let capacity t = t.capacity

@@ -1,0 +1,33 @@
+(** Bounded blocking FIFO queue — the server's backpressure point.
+
+    Producers (connection readers) offer work with the non-blocking
+    {!try_push}: when the queue is at capacity the offer is {e refused}
+    rather than buffered, so overload surfaces immediately as a
+    structured [overloaded] reply instead of unbounded memory growth and
+    silently exploding latency.  Consumers (the worker pool) block in
+    {!pop}.
+
+    {!close} starts the drain: further pushes are refused, but {!pop}
+    keeps returning queued items until the queue is empty and only then
+    reports exhaustion — exactly the graceful-shutdown order (stop
+    accepting, finish what was admitted). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push q x] enqueues [x] and returns [true], or returns [false]
+    without blocking when the queue is full or closed. *)
+
+val pop : 'a t -> 'a option
+(** [pop q] blocks until an item is available and dequeues it (FIFO).
+    Returns [None] once the queue is closed {e and} drained. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked consumers.  Idempotent. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int

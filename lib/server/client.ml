@@ -1,0 +1,58 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; rd : Lineio.reader; mutable closed : bool }
+
+exception Protocol_failure of string
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; rd = Lineio.reader fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call t ?id ?deadline_ms body =
+  let req = { P.id; deadline_ms; body } in
+  Lineio.write_all t.fd (P.request_to_string req);
+  match P.read_response ~next_line:(fun () -> Lineio.next_line t.rd) with
+  | Some resp -> resp
+  | None -> raise (Protocol_failure "connection closed before response")
+  | exception P.Parse_error { line; msg } ->
+      raise
+        (Protocol_failure
+           ("malformed response: " ^ P.parse_error_message ~line ~msg))
+  | exception Lineio.Line_too_long ->
+      raise (Protocol_failure "malformed response: line too long")
+
+let fields_exn resp =
+  match resp with
+  | P.Ok { fields; _ } -> fields
+  | P.Err { code; message; _ } ->
+      raise
+        (Protocol_failure
+           (Printf.sprintf "server error [%s]: %s"
+              (P.error_code_to_string code) message))
+
+let describe t ?deadline_ms inst =
+  fields_exn (call t ?deadline_ms (P.Describe inst))
+
+let lower_bound t ?deadline_ms inst =
+  fields_exn (call t ?deadline_ms (P.Lower_bound inst))
+
+let plan t ?deadline_ms ?(seed = 0) ~policy inst =
+  fields_exn (call t ?deadline_ms (P.Plan { inst; policy; seed }))
+
+let simulate t ?deadline_ms ?(seed = 0) ~policy ~reps inst =
+  fields_exn (call t ?deadline_ms (P.Simulate { inst; policy; reps; seed }))
+
+let stats t ?deadline_ms () = fields_exn (call t ?deadline_ms P.Stats)

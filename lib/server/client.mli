@@ -1,0 +1,47 @@
+(** Synchronous client for the [suu-serve] protocol.
+
+    One value is one TCP connection; {!call} writes a request frame and
+    blocks for the matching response (the protocol is strictly
+    request/response per connection, so no correlation machinery is
+    needed — [id] is still attached for log readability).  Not
+    thread-safe: share a connection between threads behind a lock, or
+    open one per thread (the load generator does the latter). *)
+
+type t
+
+exception Protocol_failure of string
+(** The server's bytes did not parse as a response frame, or the
+    connection dropped mid-response. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Defaults to [127.0.0.1].  Raises [Unix.Unix_error] on refusal. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call :
+  t -> ?id:string -> ?deadline_ms:int -> Protocol.body -> Protocol.response
+(** Send one request, wait for its response.  Raises
+    {!Protocol_failure} on a broken stream and [Unix.Unix_error] on
+    transport errors; server-side failures come back as
+    [Protocol.Err]. *)
+
+(* Convenience wrappers over {!call}; each raises {!Protocol_failure}
+   when the server replies with an error frame, carrying the rendered
+   code and message. *)
+
+val describe :
+  t -> ?deadline_ms:int -> Suu_core.Instance.t -> (string * string) list
+
+val lower_bound :
+  t -> ?deadline_ms:int -> Suu_core.Instance.t -> (string * string) list
+
+val plan :
+  t -> ?deadline_ms:int -> ?seed:int -> policy:string ->
+  Suu_core.Instance.t -> (string * string) list
+
+val simulate :
+  t -> ?deadline_ms:int -> ?seed:int -> policy:string -> reps:int ->
+  Suu_core.Instance.t -> (string * string) list
+
+val stats : t -> ?deadline_ms:int -> unit -> (string * string) list

@@ -1,0 +1,54 @@
+exception Line_too_long
+
+let max_line = 8 * 1024 * 1024
+
+type reader = {
+  rfd : Unix.file_descr;
+  mutable pending : string;
+  mutable eof : bool;
+}
+
+let reader rfd = { rfd; pending = ""; eof = false }
+
+let strip_cr l =
+  let k = String.length l in
+  if k > 0 && l.[k - 1] = '\r' then String.sub l 0 (k - 1) else l
+
+let rec next_line rd =
+  match String.index_opt rd.pending '\n' with
+  | Some i ->
+      let line = String.sub rd.pending 0 i in
+      rd.pending <-
+        String.sub rd.pending (i + 1) (String.length rd.pending - i - 1);
+      Some (strip_cr line)
+  | None ->
+      if rd.eof then
+        if rd.pending = "" then None
+        else begin
+          let l = rd.pending in
+          rd.pending <- "";
+          Some (strip_cr l)
+        end
+      else if String.length rd.pending > max_line then raise Line_too_long
+      else begin
+        let chunk = Bytes.create 65536 in
+        match Unix.read rd.rfd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            rd.eof <- true;
+            next_line rd
+        | k ->
+            rd.pending <- rd.pending ^ Bytes.sub_string chunk 0 k;
+            next_line rd
+        | exception Unix.Unix_error _ ->
+            (* Concurrent shutdown during drain, or a reset peer. *)
+            rd.eof <- true;
+            rd.pending <- "";
+            None
+      end
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done

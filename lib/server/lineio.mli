@@ -1,0 +1,24 @@
+(** Buffered, capped line IO over a file descriptor — shared by the
+    server's connection readers and the client.
+
+    [input_line] on a channel would almost do, but it neither caps line
+    length (a hostile peer could grow one line without bound) nor
+    survives a concurrent [shutdown] cleanly, and mixing channels with
+    raw descriptors on one socket invites buffering bugs. *)
+
+exception Line_too_long
+(** A line exceeded the 8 MiB cap (larger than any legal frame line). *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val next_line : reader -> string option
+(** The next [\n]-terminated line, without the terminator (a trailing
+    [\r] is stripped).  [None] at end of stream — including when a
+    concurrent [shutdown] aborts a blocked read.  Raises
+    {!Line_too_long}. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string (looping over partial writes).  Raises
+    [Unix.Unix_error] like [Unix.write]. *)

@@ -1,0 +1,73 @@
+(* Upper bounds of the latency buckets, in milliseconds.  Fixed (not
+   adaptive) so counts from successive stats scrapes can be subtracted. *)
+let bucket_ms = [| 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000 |]
+
+type t = {
+  lock : Mutex.t;
+  by_type : (string, int ref) Hashtbl.t;
+  by_code : (string, int ref) Hashtbl.t;
+  mutable ok : int;
+  mutable total : int;
+  buckets : int array; (* one per bound, plus overflow at the end *)
+  mutable latency_sum : float; (* seconds *)
+}
+
+let create () =
+  { lock = Mutex.create (); by_type = Hashtbl.create 8;
+    by_code = Hashtbl.create 8; ok = 0; total = 0;
+    buckets = Array.make (Array.length bucket_ms + 1) 0;
+    latency_sum = 0.0 }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let bucket_index latency =
+  let ms = latency *. 1000.0 in
+  let rec find i =
+    if i >= Array.length bucket_ms then i
+    else if ms <= float_of_int bucket_ms.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let observe t ~rtype ~code ~latency =
+  Mutex.lock t.lock;
+  t.total <- t.total + 1;
+  bump t.by_type rtype;
+  (match code with
+  | None -> t.ok <- t.ok + 1
+  | Some c -> bump t.by_code c);
+  let i = bucket_index latency in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.latency_sum <- t.latency_sum +. Float.max 0.0 latency;
+  Mutex.unlock t.lock
+
+let get tbl key =
+  match Hashtbl.find_opt tbl key with Some r -> !r | None -> 0
+
+let render t =
+  Mutex.lock t.lock;
+  let fields = ref [] in
+  let add k v = fields := (k, string_of_int v) :: !fields in
+  add "requests_total" t.total;
+  List.iter
+    (fun ty -> add ("requests_" ^ ty) (get t.by_type ty))
+    [ "describe"; "lower_bound"; "plan"; "simulate"; "stats"; "unknown" ];
+  add "ok" t.ok;
+  add "errors" (t.total - t.ok);
+  add "parse_errors" (get t.by_code "parse");
+  add "bad_requests" (get t.by_code "bad_request");
+  add "rejects" (get t.by_code "overloaded");
+  add "timeouts" (get t.by_code "timeout");
+  add "internal_errors" (get t.by_code "internal");
+  Array.iteri
+    (fun i c ->
+      if i < Array.length bucket_ms then
+        add (Printf.sprintf "latency_le_%dms" bucket_ms.(i)) c
+      else add "latency_gt_5000ms" c)
+    t.buckets;
+  add "latency_sum_us" (int_of_float (t.latency_sum *. 1e6));
+  Mutex.unlock t.lock;
+  List.rev !fields

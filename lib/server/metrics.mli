@@ -1,0 +1,24 @@
+(** In-process serving counters and a fixed-bucket latency histogram.
+
+    One value lives in the server; every completed request (ok or
+    error) is recorded with its type, outcome and wall-clock latency.
+    {!render} flattens everything into deterministic [key value] pairs
+    for the [stats] reply: request counts by type, outcome counters
+    (ok / errors / parse_errors / bad_requests / rejects / timeouts /
+    internal_errors), plan-cache aggregates are appended by the caller,
+    and the histogram appears as cumulative-style [latency_le_<ms>]
+    buckets (upper bounds fixed at compile time, so successive scrapes
+    are comparable). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> rtype:string -> code:string option -> latency:float -> unit
+(** Record one completed request of type [rtype] ([code = None] for an
+    ok reply, [Some code] for an error reply; [latency] in seconds).
+    Rejected-at-the-queue requests are recorded with
+    [code = Some "overloaded"]. *)
+
+val render : t -> (string * string) list
+(** Deterministic key order; values are decimal integers. *)

@@ -1,0 +1,271 @@
+module P = Protocol
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  default_deadline_ms : int;
+  sim_jobs : int option;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; workers = 4; queue_capacity = 64;
+    default_deadline_ms = 30_000; sim_jobs = None }
+
+(* --- connection plumbing --- *)
+
+type conn = { fd : Unix.file_descr; wlock : Mutex.t }
+
+(* Replies from workers and readers interleave on one socket; the write
+   lock keeps frames whole.  A vanished peer is not an error worth
+   propagating — the request's effect is simply dropped. *)
+let send conn resp =
+  Mutex.lock conn.wlock;
+  (try Lineio.write_all conn.fd (P.response_to_string resp)
+   with Unix.Unix_error _ -> ());
+  Mutex.unlock conn.wlock
+
+type job = {
+  req : P.request;
+  conn : conn;
+  arrival : float;
+  deadline : float;
+}
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  queue : job Bqueue.t;
+  service : Service.t;
+  metrics : Metrics.t;
+  started : float;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  mutable worker_threads : Thread.t list;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+
+let observe t ~rtype ~code ~arrival =
+  Metrics.observe t.metrics ~rtype ~code
+    ~latency:(Unix.gettimeofday () -. arrival)
+
+(* --- workers --- *)
+
+let process t job =
+  let now = Unix.gettimeofday () in
+  let id = job.req.P.id in
+  let rtype = P.body_type job.req.P.body in
+  if now > job.deadline then begin
+    observe t ~rtype ~code:(Some "timeout") ~arrival:job.arrival;
+    send job.conn
+      (P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" })
+  end
+  else
+    match
+      try Service.handle t.service ~deadline:job.deadline job.req.P.body
+      with e ->
+        Result.Error (P.Internal, "unexpected exception: " ^ Printexc.to_string e)
+    with
+    | Result.Ok fields ->
+        observe t ~rtype ~code:None ~arrival:job.arrival;
+        send job.conn (P.Ok { id; rtype; fields })
+    | Result.Error (code, message) ->
+        observe t ~rtype
+          ~code:(Some (P.error_code_to_string code))
+          ~arrival:job.arrival;
+        send job.conn (P.Err { id; code; message })
+
+let worker_loop t () =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> () (* closed and drained: graceful exit *)
+    | Some job ->
+        process t job;
+        loop ()
+  in
+  loop ()
+
+(* --- connection readers --- *)
+
+let handle_conn t conn =
+  let rd = Lineio.reader conn.fd in
+  let next_line () = Lineio.next_line rd in
+  let rec loop () =
+    match P.read_request ~next_line with
+    | None -> ()
+    | Some req ->
+        let arrival = Unix.gettimeofday () in
+        let ms =
+          match req.P.deadline_ms with
+          | Some d -> d
+          | None -> t.cfg.default_deadline_ms
+        in
+        let job =
+          { req; conn; arrival;
+            deadline = arrival +. (float_of_int ms /. 1000.0) }
+        in
+        if not (Bqueue.try_push t.queue job) then begin
+          observe t
+            ~rtype:(P.body_type req.P.body)
+            ~code:(Some "overloaded") ~arrival;
+          let message =
+            if Atomic.get t.stopping then "server is draining"
+            else
+              Printf.sprintf "queue full (capacity %d)"
+                (Bqueue.capacity t.queue)
+          in
+          send conn (P.Err { id = req.P.id; code = P.Overloaded; message })
+        end;
+        loop ()
+    | exception P.Parse_error { line; msg } ->
+        observe t ~rtype:"unknown" ~code:(Some "parse")
+          ~arrival:(Unix.gettimeofday ());
+        send conn
+          (P.Err
+             { id = None; code = P.Parse;
+               message = P.parse_error_message ~line ~msg });
+        (* The offending frame is consumed up to its [done]; the
+           connection survives. *)
+        P.skip_frame ~next_line;
+        loop ()
+    | exception Lineio.Line_too_long ->
+        send conn
+          (P.Err
+             { id = None; code = P.Parse;
+               message = "line too long; closing connection" })
+  in
+  (try loop () with _ -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+(* --- accept loop --- *)
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.lfd with
+    | fd, _ ->
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        let conn = { fd; wlock = Mutex.create () } in
+        Mutex.lock t.conns_lock;
+        let key = t.next_conn in
+        t.next_conn <- key + 1;
+        let th =
+          Thread.create
+            (fun () ->
+              handle_conn t conn;
+              Mutex.lock t.conns_lock;
+              Hashtbl.remove t.conns key;
+              Mutex.unlock t.conns_lock)
+            ()
+        in
+        Hashtbl.replace t.conns key (conn, th);
+        Mutex.unlock t.conns_lock;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        () (* listener shut down: stop accepting *)
+    | exception Unix.Unix_error _ -> if not (Atomic.get t.stopping) then loop ()
+  in
+  loop ()
+
+let start ?(config = default_config) () =
+  if config.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  (* A worker writing to a connection whose peer vanished must get
+     EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind lfd addr
+   with e ->
+     Unix.close lfd;
+     raise e);
+  Unix.listen lfd 128;
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let metrics = Metrics.create () in
+  let queue = Bqueue.create ~capacity:config.queue_capacity in
+  let started = Unix.gettimeofday () in
+  let t_ref = ref None in
+  let extra_stats () =
+    match !t_ref with
+    | None -> []
+    | Some t ->
+        Mutex.lock t.conns_lock;
+        let conns = Hashtbl.length t.conns in
+        Mutex.unlock t.conns_lock;
+        [ ("queue_depth", string_of_int (Bqueue.length t.queue));
+          ("queue_capacity", string_of_int t.cfg.queue_capacity);
+          ("workers", string_of_int t.cfg.workers);
+          ("connections", string_of_int conns);
+          ("uptime_ms",
+           string_of_int
+             (int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.0)))
+        ]
+  in
+  let service =
+    Service.create ?sim_jobs:config.sim_jobs ~extra_stats ~metrics ()
+  in
+  let t =
+    { cfg = config; lfd; bound_port; queue; service; metrics; started;
+      stopping = Atomic.make false; accept_thread = None;
+      worker_threads = []; conns = Hashtbl.create 16;
+      conns_lock = Mutex.create (); next_conn = 0;
+      stop_lock = Mutex.create (); stopped = false }
+  in
+  t_ref := Some t;
+  t.worker_threads <-
+    List.init config.workers (fun _ -> Thread.create (worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let shutdown_fd fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let stop t =
+  Mutex.lock t.stop_lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_lock;
+  if not already then begin
+    Atomic.set t.stopping true;
+    (* 1. Stop accepting: shutdown unblocks a blocked [accept]. *)
+    shutdown_fd t.lfd;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    (* 2. Drain: no new admissions (readers now answer [overloaded]),
+       workers finish every admitted request, then exit. *)
+    Bqueue.close t.queue;
+    List.iter Thread.join t.worker_threads;
+    (* 3. Hang up: shutdown wakes readers blocked in [read]; each
+       closes its own fd on the way out. *)
+    Mutex.lock t.conns_lock;
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    List.iter (fun (conn, _) -> shutdown_fd conn.fd) live;
+    List.iter (fun (_, th) -> Thread.join th) live
+  end
+
+let run ?config () =
+  let t = start ?config () in
+  Printf.printf "suu-serve listening on %s:%d (workers=%d queue=%d)\n%!"
+    t.cfg.host t.bound_port t.cfg.workers t.cfg.queue_capacity;
+  let signalled = Atomic.make false in
+  let on_signal _ = Atomic.set signalled true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  while not (Atomic.get signalled) do
+    Thread.delay 0.05
+  done;
+  prerr_endline "suu-serve: signal received, draining";
+  stop t;
+  prerr_endline "suu-serve: drained, bye"

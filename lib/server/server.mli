@@ -1,0 +1,54 @@
+(** The [suu-serve] TCP daemon.
+
+    One listener thread accepts connections; each connection gets a
+    reader thread that parses {!Protocol} frames and offers them to a
+    {e bounded} request queue drained by a pool of worker threads.  A
+    full queue refuses the offer and the reader immediately writes a
+    structured [overloaded] error — backpressure instead of unbounded
+    buffering.  Workers run {!Service.handle} (simulation replications
+    fan out over the {!Suu_sim.Parallel} domain pool) and serialize the
+    reply under a per-connection write lock.
+
+    Every request carries an absolute deadline — its own [deadline-ms]
+    or the server default — checked when the request is dequeued and
+    cooperatively during execution, so expired work is answered with a
+    [timeout] error instead of holding a worker.
+
+    A malformed frame gets a located [parse] error reply and the reader
+    resynchronizes to the next [done]; the connection survives.
+
+    {!stop} is the graceful drain: stop accepting, refuse new offers
+    (readers answer [overloaded] while draining), let the workers
+    finish every admitted request, then close the remaining
+    connections.  {!run} wires SIGINT/SIGTERM to exactly that. *)
+
+type t
+
+type config = {
+  host : string;  (** bind address (default 127.0.0.1) *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  workers : int;  (** worker-pool size (default 4) *)
+  queue_capacity : int;  (** bounded-queue capacity (default 64) *)
+  default_deadline_ms : int;
+      (** deadline for requests that carry none (default 30_000) *)
+  sim_jobs : int option;
+      (** domain count for simulate fan-out (default: the
+          {!Suu_sim.Parallel} default) *)
+}
+
+val default_config : config
+
+val start : ?config:config -> unit -> t
+(** Bind, listen and spin up the pool.  Raises [Unix.Unix_error] when
+    the address is unavailable. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val stop : t -> unit
+(** Graceful drain-then-stop; blocks until every admitted request has
+    been answered and every thread has exited.  Idempotent. *)
+
+val run : ?config:config -> unit -> unit
+(** {!start}, print one [listening on HOST:PORT] line, then block until
+    SIGINT or SIGTERM and {!stop}. *)

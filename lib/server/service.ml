@@ -1,0 +1,260 @@
+module P = Protocol
+module Instance = Suu_core.Instance
+module Classify = Suu_dag.Classify
+
+(* Cooperative deadline enforcement: raised at a check point, mapped to
+   a structured [timeout] reply in {!handle}. *)
+exception Expired
+
+let check ~deadline =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Expired
+  | _ -> ()
+
+(* One cached instance: the canonical-serialization digest keys it, and
+   policies materialize lazily per wire name so their internal plan
+   caches survive across requests. *)
+type entry = {
+  inst : Instance.t;
+  policies : (string, Suu_core.Policy.t) Hashtbl.t;
+  elock : Mutex.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  cache : (string, entry) Hashtbl.t;
+  order : string Queue.t; (* insertion order, FIFO eviction *)
+  capacity : int;
+  sim_jobs : int option;
+  extra_stats : (unit -> (string * string) list) option;
+  metrics : Metrics.t;
+}
+
+let create ?(instance_cache_capacity = 64) ?sim_jobs ?extra_stats ~metrics
+    () =
+  if instance_cache_capacity < 1 then
+    invalid_arg "Service.create: instance_cache_capacity must be >= 1";
+  { lock = Mutex.create (); cache = Hashtbl.create 64;
+    order = Queue.create (); capacity = instance_cache_capacity; sim_jobs;
+    extra_stats; metrics }
+
+let entry_for t inst =
+  let digest = Digest.string (Suu_core.Instance_io.to_string inst) in
+  Mutex.lock t.lock;
+  let e =
+    match Hashtbl.find_opt t.cache digest with
+    | Some e -> e
+    | None ->
+        while Hashtbl.length t.cache >= t.capacity do
+          match Queue.take_opt t.order with
+          | Some k -> Hashtbl.remove t.cache k
+          | None -> Hashtbl.reset t.cache
+        done;
+        let e =
+          { inst; policies = Hashtbl.create 4; elock = Mutex.create () }
+        in
+        Hashtbl.add t.cache digest e;
+        Queue.add digest t.order;
+        e
+  in
+  Mutex.unlock t.lock;
+  e
+
+(* --- the policy registry --- *)
+
+let policy_names =
+  [ "auto"; "suu-i-sem"; "suu-i-obl"; "greedy-oblivious"; "suu-c";
+    "suu-t"; "greedy"; "round-robin"; "serial" ]
+
+let shape inst = Classify.classify (Instance.dag inst)
+
+(* Shape-restricted policies are validated here rather than left to the
+   engine's Invalid_schedule: the client gets "inapplicable", not
+   "policy bug". *)
+let build_policy name inst =
+  let open Suu_core in
+  let requires what ok f =
+    if ok then Result.Ok (f ())
+    else
+      Result.Error
+        (P.Bad_request,
+         Printf.sprintf "policy %s requires %s (instance is: %s)" name what
+           (Classify.describe (shape inst)))
+  in
+  let s = shape inst in
+  match name with
+  | "auto" -> Result.Ok (Auto.policy inst)
+  | "suu-i-sem" ->
+      requires "independent jobs" (s = Classify.Independent) (fun () ->
+          Suu_i_sem.policy inst)
+  | "suu-i-obl" ->
+      requires "independent jobs" (s = Classify.Independent) (fun () ->
+          Suu_i_obl.policy inst)
+  | "greedy-oblivious" ->
+      requires "independent jobs" (s = Classify.Independent) (fun () ->
+          Baselines.greedy_oblivious inst)
+  | "suu-c" ->
+      let ok = match s with Classify.Disjoint_chains _ -> true | _ -> false in
+      requires "disjoint chains" ok (fun () -> Suu_c.policy inst)
+  | "suu-t" ->
+      let ok = match s with Classify.Directed_forest _ -> true | _ -> false in
+      requires "a directed forest" ok (fun () -> Suu_t.policy inst)
+  | "greedy" -> Result.Ok (Baselines.greedy_completion inst)
+  | "round-robin" -> Result.Ok (Baselines.round_robin inst)
+  | "serial" -> Result.Ok (Baselines.serial inst)
+  | _ ->
+      Result.Error
+        (P.Bad_request,
+         Printf.sprintf "unknown policy %S (have: %s)" name
+           (String.concat ", " policy_names))
+
+let get_policy t inst name =
+  let e = entry_for t inst in
+  Mutex.lock e.elock;
+  let r =
+    match Hashtbl.find_opt e.policies name with
+    | Some p -> Result.Ok p
+    | None -> (
+        (* Build against the cached instance value, so every request
+           with this digest shares one policy (and one plan cache). *)
+        match build_policy name e.inst with
+        | Result.Ok p ->
+            Hashtbl.add e.policies name p;
+            Result.Ok p
+        | Result.Error _ as err -> err)
+  in
+  Mutex.unlock e.elock;
+  r
+
+(* --- request bodies --- *)
+
+let f17 = Printf.sprintf "%.17g"
+
+let applicable_policies inst =
+  let paper =
+    match shape inst with
+    | Classify.Independent -> [ "suu-i-sem"; "suu-i-obl"; "greedy-oblivious" ]
+    | Classify.Disjoint_chains _ -> [ "suu-c" ]
+    | Classify.Directed_forest _ -> [ "suu-t" ]
+    | Classify.General -> []
+  in
+  ("auto" :: paper) @ [ "greedy"; "round-robin"; "serial" ]
+
+let describe inst =
+  [ ("name", Instance.name inst);
+    ("machines", string_of_int (Instance.m inst));
+    ("jobs", string_of_int (Instance.n inst));
+    ("edges",
+     string_of_int (List.length (Suu_dag.Dag.edges (Instance.dag inst))));
+    ("shape", Classify.describe (shape inst));
+    ("policies", String.concat " " (applicable_policies inst)) ]
+
+let lower_bound ~deadline inst =
+  let module LB = Suu_core.Lower_bound in
+  let cp = LB.critical_path inst in
+  let work = LB.work inst in
+  check ~deadline;
+  let lp = LB.lp1_half inst in
+  [ ("lp1_half", f17 lp); ("critical_path", f17 cp); ("work", f17 work);
+    ("combined", f17 (Float.max 1.0 (Float.max lp (Float.max cp work)))) ]
+
+let plan t ~deadline inst name ~seed =
+  match get_policy t inst name with
+  | Result.Error _ as e -> e
+  | Result.Ok policy ->
+      let m = Instance.m inst and n = Instance.n inst in
+      let trace_rng, policy_rng = (Suu_sim.Runner.rep_rngs ~seed ~reps:1).(0) in
+      let trace = Suu_sim.Trace.draw ~n trace_rng in
+      let busy = Array.make m 0 in
+      let on_step ~time ~assignment =
+        if time land 4095 = 0 then check ~deadline;
+        Array.iteri
+          (fun i j -> if j >= 0 then busy.(i) <- busy.(i) + 1)
+          assignment
+      in
+      let r = Suu_sim.Engine.run inst policy ~trace ~rng:policy_rng ~on_step in
+      let mk = float_of_int (max 1 r.Suu_sim.Engine.makespan) in
+      Result.Ok
+        [ ("policy", Suu_core.Policy.name policy);
+          ("seed", string_of_int seed);
+          ("makespan", string_of_int r.Suu_sim.Engine.makespan);
+          ("busy_steps", string_of_int r.Suu_sim.Engine.busy_steps);
+          ("wasted_steps", string_of_int r.Suu_sim.Engine.wasted_steps);
+          ("idle_steps", string_of_int r.Suu_sim.Engine.idle_steps);
+          ("utilization",
+           String.concat " "
+             (Array.to_list
+                (Array.map (fun b -> f17 (float_of_int b /. mk)) busy))) ]
+
+(* Replication batches between deadline checks: small enough that an
+   expired request stops within a bounded slice of extra work, large
+   enough that the domain fan-out amortizes. *)
+let sim_batch = 32
+
+let simulate t ~deadline inst name ~reps ~seed =
+  match get_policy t inst name with
+  | Result.Error _ as e -> e
+  | Result.Ok policy ->
+      let n = Instance.n inst in
+      let rngs = Suu_sim.Runner.rep_rngs ~seed ~reps in
+      let results = Array.make reps 0.0 in
+      let lo = ref 0 in
+      while !lo < reps do
+        check ~deadline;
+        let base = !lo in
+        let hi = min reps (base + sim_batch) in
+        (* Replication [k] draws only from [rngs.(k)] and writes only
+           [results.(k)]: bit-identical for every [sim_jobs], hence for
+           every server worker count. *)
+        Suu_sim.Parallel.parallel_for ?jobs:t.sim_jobs ~n:(hi - base)
+          (fun k ->
+            let trace_rng, policy_rng = rngs.(base + k) in
+            let trace = Suu_sim.Trace.draw ~n trace_rng in
+            results.(base + k) <-
+              float_of_int
+                (Suu_sim.Engine.makespan inst policy ~trace ~rng:policy_rng));
+        lo := hi
+      done;
+      let s = Suu_stats.Summary.of_array results in
+      Result.Ok
+        [ ("policy", Suu_core.Policy.name policy);
+          ("reps", string_of_int reps);
+          ("seed", string_of_int seed);
+          ("mean", f17 s.Suu_stats.Summary.mean);
+          ("stddev", f17 s.Suu_stats.Summary.stddev);
+          ("ci95", f17 s.Suu_stats.Summary.ci95);
+          ("min", f17 s.Suu_stats.Summary.min);
+          ("max", f17 s.Suu_stats.Summary.max) ]
+
+let stats_fields t =
+  let pc = Suu_core.Plan_cache.global_stats () in
+  Mutex.lock t.lock;
+  let entries = Hashtbl.length t.cache in
+  Mutex.unlock t.lock;
+  Metrics.render t.metrics
+  @ [ ("plan_cache_hits", string_of_int pc.Suu_core.Plan_cache.hits);
+      ("plan_cache_misses", string_of_int pc.Suu_core.Plan_cache.misses);
+      ("plan_cache_evictions",
+       string_of_int pc.Suu_core.Plan_cache.evictions);
+      ("instance_cache_entries", string_of_int entries) ]
+  @ (match t.extra_stats with Some f -> f () | None -> [])
+
+let handle t ?deadline body =
+  try
+    check ~deadline;
+    match body with
+    | P.Stats -> Result.Ok (stats_fields t)
+    | P.Describe inst -> Result.Ok (describe inst)
+    | P.Lower_bound inst -> Result.Ok (lower_bound ~deadline inst)
+    | P.Plan { inst; policy; seed } -> plan t ~deadline inst policy ~seed
+    | P.Simulate { inst; policy; reps; seed } ->
+        simulate t ~deadline inst policy ~reps ~seed
+  with
+  | Expired -> Result.Error (P.Timeout, "deadline exceeded")
+  | Suu_sim.Engine.Invalid_schedule msg ->
+      Result.Error (P.Internal, "policy violated the model: " ^ msg)
+  | Suu_sim.Engine.Horizon_exceeded cap ->
+      Result.Error
+        (P.Bad_request,
+         Printf.sprintf "execution exceeded the %d-step cap" cap)
+  | Invalid_argument msg | Failure msg -> Result.Error (P.Bad_request, msg)

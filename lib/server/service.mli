@@ -1,0 +1,56 @@
+(** Request execution, independent of sockets and threads.
+
+    One service value is shared by every worker: it owns the
+    instance-level cache that makes the daemon worth running — parsed
+    instances are keyed by the digest of their canonical serialization,
+    and each cached instance lazily materializes the policies requested
+    against it, so repeated [plan]/[simulate] requests reuse the policy
+    values and (for the SUU-I family) the LP plans memoized inside their
+    {!Suu_core.Plan_cache}.  The cache is bounded with FIFO eviction,
+    like the plan caches underneath it.
+
+    Deadlines are enforced cooperatively: the deadline is checked
+    before each phase of work, between replication batches of
+    [simulate], and every 4096 engine steps of [plan], so an expired
+    request returns a structured [timeout] error within a bounded
+    amount of extra work rather than occupying a worker forever.
+
+    Determinism over the wire: for a fixed request body, the ok
+    response is byte-identical across calls, worker interleavings and
+    simulation-pool sizes — [simulate] replays
+    {!Suu_sim.Runner.rep_rngs} replication seeding (replication [k]
+    depends only on [(seed, k)]), and floats are rendered with
+    [%.17g]. *)
+
+type t
+
+val create :
+  ?instance_cache_capacity:int ->
+  ?sim_jobs:int ->
+  ?extra_stats:(unit -> (string * string) list) ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** [instance_cache_capacity] bounds the digest-keyed instance cache
+    (default 64; [Invalid_argument] when < 1).  [sim_jobs] fixes the
+    domain count used for [simulate] fan-out (default: the
+    {!Suu_sim.Parallel} default, i.e. [SUU_JOBS] or the core count).
+    [extra_stats] is appended to [stats] replies (the server adds queue
+    depth and worker count).  [metrics] is rendered into [stats]
+    replies. *)
+
+val policy_names : string list
+(** Wire names accepted in [policy] fields: [auto] plus every concrete
+    policy in the repository. *)
+
+val handle :
+  t ->
+  ?deadline:float ->
+  Protocol.body ->
+  ((string * string) list, Protocol.error_code * string) result
+(** Execute one request body.  [deadline] is an absolute
+    [Unix.gettimeofday] instant.  [Ok fields] become the ok-response
+    fields; [Error (code, message)] becomes a structured error reply
+    ([Timeout] when the deadline expired, [Bad_request] for unknown or
+    inapplicable policies and model violations).  Exceptions do not
+    escape except through [Error]. *)

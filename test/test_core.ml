@@ -517,6 +517,29 @@ let test_io_rejects_garbage () =
        false
      with Failure _ -> true)
 
+(* Malformed input must be rejected with an error locating the offending
+   1-based line — these are the messages the server relays to clients. *)
+let test_io_located_errors () =
+  let expect label input msg =
+    Alcotest.check_raises label (Failure msg) (fun () ->
+        ignore (Suu_core.Instance_io.of_string input))
+  in
+  expect "bad name line" "suu-instance v1\nwrong stuff\n"
+    "Instance_io: line 2: expected \"name\"";
+  expect "bad machine count" "suu-instance v1\nname x\nmachines zz\njobs 1\n"
+    "Instance_io: line 3: expected an integer, got \"zz\"";
+  expect "bad float"
+    "suu-instance v1\nname x\nmachines 1\njobs 1\nq\nNOTAFLOAT\nedges 0\nend\n"
+    "Instance_io: line 6: bad float \"NOTAFLOAT\"";
+  expect "wrong q arity"
+    "suu-instance v1\nname x\nmachines 1\njobs 2\nq\n0.5\nedges 0\nend\n"
+    "Instance_io: line 6: wrong number of q entries";
+  expect "bad edge"
+    "suu-instance v1\nname x\nmachines 1\njobs 2\nq\n0.5 0.5\nedges 1\n0\nend\n"
+    "Instance_io: line 8: expected two node indices";
+  expect "truncated mid-file" "suu-instance v1\nname x\nmachines 1\n"
+    "Instance_io: line 4: expected \"jobs\""
+
 let test_io_files () =
   let inst =
     Instance.make ~name:"file-rt" ~dag:(Dag.empty 2)
@@ -537,6 +560,46 @@ let prop_io_roundtrip =
         Suu_workload.Workload.forest
           (Suu_workload.Workload.Uniform { lo = 0.1; hi = 0.99 })
           ~n:12 ~trees:3 ~orientation:`Mixed ~m:3 ~seed
+      in
+      let back =
+        Suu_core.Instance_io.of_string (Suu_core.Instance_io.to_string inst)
+      in
+      instances_equal inst back)
+
+(* Unlike [prop_io_roundtrip] (which only varies a workload generator's
+   seed), this drives dimensions, the q matrix and the edge set directly,
+   including the awkward exact values 0 and 1. *)
+let prop_io_roundtrip_random =
+  QCheck.Test.make ~count:200 ~name:"random instances roundtrip"
+    QCheck.(triple (int_range 1 5) (int_range 1 10) small_int)
+    (fun (m, n, seed) ->
+      (* The shrinker can escape int_range's bounds; clamp defensively. *)
+      let m = max 1 m and n = max 1 n in
+      let rng = Suu_prng.Rng.create ~seed:(Hashtbl.hash (m, n, seed)) in
+      let q =
+        Array.init m (fun _ ->
+            Array.init n (fun _ ->
+                match Suu_prng.Rng.int rng 5 with
+                | 0 -> 0.0
+                | 1 -> 1.0
+                | _ -> Suu_prng.Rng.float rng 1.0))
+      in
+      (* Every job needs one machine that can finish it (q < 1). *)
+      for j = 0 to n - 1 do
+        if Array.for_all (fun row -> row.(j) = 1.0) q then
+          q.(0).(j) <- Suu_prng.Rng.float rng 0.99
+      done;
+      let edges = ref [] in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          if Suu_prng.Rng.int rng 4 = 0 then edges := (a, b) :: !edges
+        done
+      done;
+      let inst =
+        Instance.make
+          ~name:(Printf.sprintf "rand-%d-%d-%d" m n seed)
+          ~dag:(Dag.of_edges ~n !edges)
+          q
       in
       let back =
         Suu_core.Instance_io.of_string (Suu_core.Instance_io.to_string inst)
@@ -779,6 +842,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "garbage" `Quick test_io_rejects_garbage;
+          Alcotest.test_case "located errors" `Quick test_io_located_errors;
           Alcotest.test_case "files" `Quick test_io_files;
         ] );
       ( "exact-dp",
@@ -811,5 +875,6 @@ let () =
           q prop_chain_dp_matches_generic;
           q prop_ideal_dp_matches_generic;
           q prop_io_roundtrip;
+          q prop_io_roundtrip_random;
         ] );
     ]

@@ -141,9 +141,10 @@ let test_plan_cache_matches_fresh () =
       Alcotest.(check bool) "cached plan equals a fresh solve" true
         (plans_equal cached fresh))
     [ (1, all); (2, all); (1, some); (3, some) ];
-  let hits, misses = PC.stats cache in
-  Alcotest.(check int) "4 misses" 4 misses;
-  Alcotest.(check int) "4 hits" 4 hits
+  let s = PC.stats cache in
+  Alcotest.(check int) "4 misses" 4 s.PC.misses;
+  Alcotest.(check int) "4 hits" 4 s.PC.hits;
+  Alcotest.(check int) "no evictions" 0 s.PC.evictions
 
 let test_plan_cache_distinguishes_keys () =
   let module PC = Suu_core.Plan_cache in
@@ -171,6 +172,41 @@ let test_plan_cache_key_isolation () =
   survivors.(0) <- 5;
   let b = PC.plan cache ~round:1 ~survivors:[| 0; 1; 2 |] in
   Alcotest.(check bool) "original key still hits" true (a == b)
+
+(* Past the entry bound the cache must keep absorbing new keys by
+   evicting the oldest half, not stop inserting: a long-lived daemon
+   otherwise degrades to one LP solve per request. *)
+let test_plan_cache_eviction () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:12 ~m:3 ~seed:26 in
+  let cap = 6 in
+  let cache = PC.create ~max_entries:cap inst in
+  (* 12 distinct singleton survivor sets: twice the capacity. *)
+  for j = 0 to 11 do
+    ignore (PC.plan cache ~round:1 ~survivors:[| j |])
+  done;
+  let s = PC.stats cache in
+  Alcotest.(check int) "all lookups missed" 12 s.PC.misses;
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions happened (%d)" s.PC.evictions)
+    true (s.PC.evictions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d stays within bound" (PC.size cache))
+    true
+    (PC.size cache <= cap);
+  (* The newest key must still be resident (FIFO evicts the oldest). *)
+  let before = (PC.stats cache).PC.hits in
+  ignore (PC.plan cache ~round:1 ~survivors:[| 11 |]);
+  Alcotest.(check int) "newest key hits" (before + 1) (PC.stats cache).PC.hits;
+  (* And a key evicted long ago re-solves to an identical plan. *)
+  let again = PC.plan cache ~round:1 ~survivors:[| 0 |] in
+  let fresh = PC.fresh_plan inst ~round:1 ~survivors:[| 0 |] in
+  Alcotest.(check bool) "re-solved plan identical" true (plans_equal again fresh);
+  Alcotest.(check bool) "max_entries must be positive" true
+    (try
+       ignore (PC.create ~max_entries:0 inst);
+       false
+     with Invalid_argument _ -> true)
 
 let test_sem_beats_obl_near_one () =
   (* The doubling rounds should not lose to plain repetition on hazard
@@ -498,6 +534,7 @@ let () =
             test_plan_cache_distinguishes_keys;
           Alcotest.test_case "key isolation" `Quick
             test_plan_cache_key_isolation;
+          Alcotest.test_case "eviction" `Quick test_plan_cache_eviction;
         ] );
       ( "baselines",
         [

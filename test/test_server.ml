@@ -1,0 +1,519 @@
+(* Tests for the suu-serve subsystem: wire protocol framing, the bounded
+   queue behind the worker pool, metrics rendering, and an end-to-end
+   loopback exercise of a real daemon on an ephemeral port. *)
+
+module P = Suu_server.Protocol
+module Bqueue = Suu_server.Bqueue
+module Metrics = Suu_server.Metrics
+module Server = Suu_server.Server
+module Client = Suu_server.Client
+module W = Suu_workload.Workload
+module Instance = Suu_core.Instance
+
+let uniform = W.Uniform { lo = 0.2; hi = 0.95 }
+
+let instances_equal a b =
+  String.equal
+    (Suu_core.Instance_io.to_string a)
+    (Suu_core.Instance_io.to_string b)
+
+(* A [next_line] feeder over an in-memory string, as the parser sees a
+   socket: lines without their newline, [None] at end of stream. *)
+let feed s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    match List.rev lines with "" :: tl -> List.rev tl | _ -> lines
+  in
+  let r = ref lines in
+  fun () ->
+    match !r with
+    | [] -> None
+    | l :: tl ->
+        r := tl;
+        Some l
+
+(* --- protocol framing --- *)
+
+let roundtrip_request req =
+  match P.read_request ~next_line:(feed (P.request_to_string req)) with
+  | Some got -> got
+  | None -> Alcotest.fail "no frame parsed"
+
+let check_common label (sent : P.request) (got : P.request) =
+  Alcotest.(check (option string)) (label ^ " id") sent.P.id got.P.id;
+  Alcotest.(check (option int))
+    (label ^ " deadline")
+    sent.P.deadline_ms got.P.deadline_ms
+
+let test_request_roundtrips () =
+  let inst = W.independent uniform ~n:6 ~m:3 ~seed:1 in
+  let forest =
+    W.forest uniform ~n:8 ~trees:2 ~orientation:`Mixed ~m:3 ~seed:2
+  in
+  let cases =
+    [
+      ("describe", { P.id = Some "r1"; deadline_ms = None;
+                     body = P.Describe inst });
+      ("lower_bound", { P.id = None; deadline_ms = Some 500;
+                        body = P.Lower_bound forest });
+      ("plan", { P.id = Some "p"; deadline_ms = None;
+                 body = P.Plan { inst; policy = "auto"; seed = 3 } });
+      ("simulate",
+       { P.id = Some "s"; deadline_ms = Some 9999;
+         body = P.Simulate { inst; policy = "greedy"; reps = 7; seed = 4 } });
+      ("stats", { P.id = None; deadline_ms = None; body = P.Stats });
+    ]
+  in
+  List.iter
+    (fun (label, req) ->
+      let got = roundtrip_request req in
+      check_common label req got;
+      match (req.P.body, got.P.body) with
+      | P.Describe a, P.Describe b | P.Lower_bound a, P.Lower_bound b ->
+          Alcotest.(check bool)
+            (label ^ " instance") true (instances_equal a b)
+      | P.Plan a, P.Plan b ->
+          Alcotest.(check string) (label ^ " policy") a.policy b.policy;
+          Alcotest.(check int) (label ^ " seed") a.seed b.seed;
+          Alcotest.(check bool)
+            (label ^ " instance") true
+            (instances_equal a.inst b.inst)
+      | P.Simulate a, P.Simulate b ->
+          Alcotest.(check string) (label ^ " policy") a.policy b.policy;
+          Alcotest.(check int) (label ^ " reps") a.reps b.reps;
+          Alcotest.(check int) (label ^ " seed") a.seed b.seed;
+          Alcotest.(check bool)
+            (label ^ " instance") true
+            (instances_equal a.inst b.inst)
+      | P.Stats, P.Stats -> ()
+      | _ -> Alcotest.fail (label ^ ": body type changed in roundtrip"))
+    cases
+
+let test_response_roundtrips () =
+  let cases =
+    [
+      P.Ok
+        {
+          id = Some "r9";
+          rtype = "simulate";
+          fields = [ ("mean", "12.5"); ("note", "has spaces in value") ];
+        };
+      P.Ok { id = None; rtype = "stats"; fields = [] };
+      P.Err { id = Some "x"; code = P.Overloaded; message = "queue full" };
+      P.Err { id = None; code = P.Timeout; message = "deadline exceeded" };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match P.read_response ~next_line:(feed (P.response_to_string resp)) with
+      | Some got ->
+          Alcotest.(check string)
+            "response roundtrips"
+            (P.response_to_string resp)
+            (P.response_to_string got)
+      | None -> Alcotest.fail "no response parsed")
+    cases
+
+let parse_error input =
+  match P.read_request ~next_line:(feed input) with
+  | Some _ -> Alcotest.fail "expected a parse error, frame parsed"
+  | None -> Alcotest.fail "expected a parse error, got end of stream"
+  | exception P.Parse_error { line; msg } ->
+      P.parse_error_message ~line ~msg
+
+let test_located_parse_errors () =
+  let check label input expected =
+    Alcotest.(check string) label expected (parse_error input)
+  in
+  check "wrong header" "hello\n" "line 1: expected \"suu-request v1\"";
+  check "unknown type" "suu-request v1\ntype frobnicate\ndone\n"
+    "line 2: unknown request type \"frobnicate\" (have: describe, \
+     lower_bound, plan, simulate, stats)";
+  check "unknown field" "suu-request v1\ntype stats\nbogus 1\ndone\n"
+    "line 3: unknown or malformed field \"bogus\"";
+  check "bad reps" "suu-request v1\ntype simulate\nreps banana\ndone\n"
+    "line 3: reps: expected an integer, got \"banana\"";
+  check "reps out of range"
+    "suu-request v1\ntype simulate\nreps 99999999\ndone\n"
+    "line 3: reps must be in [1, 1000000]";
+  check "duplicate field" "suu-request v1\ntype stats\ntype stats\ndone\n"
+    "line 3: duplicate field type";
+  check "missing type" "suu-request v1\nid x\ndone\n"
+    "line 3: missing required field 'type'";
+  check "missing instance" "suu-request v1\ntype describe\ndone\n"
+    "line 3: describe requires an instance block";
+  check "truncated frame" "suu-request v1\ntype stats\n"
+    "line 3: unexpected end of stream inside request (missing 'done')";
+  (* Errors inside the embedded instance block are relocated to frame
+     coordinates: the block starts right after the [instance] marker. *)
+  check "bad float in embedded instance"
+    "suu-request v1\n\
+     type describe\n\
+     instance\n\
+     suu-instance v1\n\
+     name x\n\
+     machines 1\n\
+     jobs 1\n\
+     q\n\
+     NOTAFLOAT\n\
+     edges 0\n\
+     end\n\
+     done\n"
+    "line 9: bad float \"NOTAFLOAT\"";
+  check "truncated embedded instance"
+    "suu-request v1\ntype describe\ninstance\nsuu-instance v1\n"
+    "line 5: unexpected end of stream inside instance block (missing 'end')"
+
+let test_skip_frame_resyncs () =
+  let input =
+    "garbage here\nmore garbage\ndone\nsuu-request v1\ntype stats\ndone\n"
+  in
+  let next_line = feed input in
+  (match P.read_request ~next_line with
+  | exception P.Parse_error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected a parse error on line 1");
+  P.skip_frame ~next_line;
+  match P.read_request ~next_line with
+  | Some { P.body = P.Stats; _ } -> ()
+  | _ -> Alcotest.fail "expected the stats frame after resync"
+
+(* --- bounded queue --- *)
+
+let test_bqueue_fifo_and_reject () =
+  let q = Bqueue.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Bqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Bqueue.try_push q 3);
+  Alcotest.(check bool) "full refuses" false (Bqueue.try_push q 4);
+  Alcotest.(check int) "length" 3 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 5);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 5" (Some 5) (Bqueue.pop q)
+
+let test_bqueue_close_drains () =
+  let q = Bqueue.create ~capacity:4 in
+  ignore (Bqueue.try_push q "a");
+  ignore (Bqueue.try_push q "b");
+  Bqueue.close q;
+  Alcotest.(check bool) "closed refuses" false (Bqueue.try_push q "c");
+  Alcotest.(check (option string)) "drains a" (Some "a") (Bqueue.pop q);
+  Alcotest.(check (option string)) "drains b" (Some "b") (Bqueue.pop q);
+  Alcotest.(check (option string)) "then exhausted" None (Bqueue.pop q);
+  Bqueue.close q (* idempotent *)
+
+let test_bqueue_blocking_pop () =
+  let q = Bqueue.create ~capacity:1 in
+  let got = ref None in
+  let th = Thread.create (fun () -> got := Bqueue.pop q) () in
+  Thread.delay 0.02;
+  Alcotest.(check (option int)) "still blocked" None !got;
+  ignore (Bqueue.try_push q 42);
+  Thread.join th;
+  Alcotest.(check (option int)) "woke with item" (Some 42) !got
+
+(* --- metrics --- *)
+
+let test_metrics_render () =
+  let m = Metrics.create () in
+  Metrics.observe m ~rtype:"simulate" ~code:None ~latency:0.003;
+  Metrics.observe m ~rtype:"simulate" ~code:(Some "overloaded")
+    ~latency:0.0001;
+  Metrics.observe m ~rtype:"stats" ~code:(Some "timeout") ~latency:7.5;
+  let fields = Metrics.render m in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing stats key " ^ k)
+  in
+  Alcotest.(check string) "total" "3" (get "requests_total");
+  Alcotest.(check string) "simulate" "2" (get "requests_simulate");
+  Alcotest.(check string) "stats" "1" (get "requests_stats");
+  Alcotest.(check string) "ok" "1" (get "ok");
+  Alcotest.(check string) "errors" "2" (get "errors");
+  Alcotest.(check string) "rejects" "1" (get "rejects");
+  Alcotest.(check string) "timeouts" "1" (get "timeouts");
+  Alcotest.(check string) "le 1ms" "1" (get "latency_le_1ms");
+  Alcotest.(check string) "le 5ms" "1" (get "latency_le_5ms");
+  Alcotest.(check string) "overflow" "1" (get "latency_gt_5000ms")
+
+(* --- end-to-end loopback --- *)
+
+let with_server ?(config = Server.default_config) f =
+  let server = Server.start ~config () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server)
+
+let with_client server f =
+  let c = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing response field " ^ k)
+
+let test_e2e_all_request_types () =
+  let inst = W.independent uniform ~n:8 ~m:3 ~seed:11 in
+  with_server (fun server ->
+      with_client server (fun c ->
+          let d = Client.describe c inst in
+          Alcotest.(check string) "machines" "3" (field d "machines");
+          Alcotest.(check string) "jobs" "8" (field d "jobs");
+          Alcotest.(check string) "shape" "independent" (field d "shape");
+          let lb = Client.lower_bound c inst in
+          Alcotest.(check bool)
+            "combined bound positive" true
+            (float_of_string (field lb "combined") > 0.0);
+          let pl = Client.plan c ~policy:"greedy" ~seed:2 inst in
+          Alcotest.(check string) "plan policy" "greedy" (field pl "policy");
+          Alcotest.(check bool)
+            "plan makespan positive" true
+            (int_of_string (field pl "makespan") > 0);
+          let sim = Client.simulate c ~policy:"greedy" ~reps:5 ~seed:3 inst in
+          Alcotest.(check string) "reps echoed" "5" (field sim "reps");
+          (* The simulate contract: identical to Runner.makespans. *)
+          let xs =
+            Suu_sim.Runner.makespans inst
+              (Suu_core.Baselines.greedy_completion inst)
+              ~seed:3 ~reps:5
+          in
+          let s = Suu_stats.Summary.of_array xs in
+          Alcotest.(check string)
+            "mean matches Runner"
+            (Printf.sprintf "%.17g" s.Suu_stats.Summary.mean)
+            (field sim "mean");
+          let st = Client.stats c () in
+          Alcotest.(check string)
+            "stats counted the four oks" "4" (field st "ok");
+          Alcotest.(check bool)
+            "queue depth exposed" true
+            (List.mem_assoc "queue_depth" st)))
+
+let test_e2e_errors_keep_connection () =
+  let inst = W.independent uniform ~n:6 ~m:2 ~seed:12 in
+  with_server (fun server ->
+      with_client server (fun c ->
+          (* Unknown policy: structured bad_request, connection lives. *)
+          (match Client.call c (P.Plan { inst; policy = "nope"; seed = 0 }) with
+          | P.Err { code = P.Bad_request; _ } -> ()
+          | _ -> Alcotest.fail "expected bad_request for unknown policy");
+          (* Shape-inapplicable policy: suu-c needs disjoint chains. *)
+          (match Client.call c (P.Plan { inst; policy = "suu-c"; seed = 0 })
+           with
+          | P.Err { code = P.Bad_request; message; _ } ->
+              Alcotest.(check bool)
+                "message names the shape" true
+                (String.length message > 0)
+          | _ -> Alcotest.fail "expected bad_request for suu-c on independent");
+          (* The connection still serves valid requests afterwards. *)
+          let d = Client.describe c inst in
+          Alcotest.(check string) "still alive" "6" (field d "jobs")))
+
+let test_e2e_parse_error_then_valid_frame () =
+  with_server (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          let send s =
+            ignore (Unix.write_substring fd s 0 (String.length s))
+          in
+          send "total garbage\nmore\ndone\n";
+          send
+            (P.request_to_string
+               { P.id = Some "after"; deadline_ms = None; body = P.Stats });
+          let rd = Suu_server.Lineio.reader fd in
+          let next_line () = Suu_server.Lineio.next_line rd in
+          (match P.read_response ~next_line with
+          | Some (P.Err { code = P.Parse; message; _ }) ->
+              Alcotest.(check bool)
+                "parse error is located" true
+                (String.length message >= 7
+                && String.sub message 0 7 = "line 1:")
+          | _ -> Alcotest.fail "expected a parse error reply");
+          match P.read_response ~next_line with
+          | Some (P.Ok { id = Some "after"; rtype = "stats"; _ }) -> ()
+          | _ -> Alcotest.fail "connection should survive a parse error"))
+
+let test_e2e_overload_rejects () =
+  (* One worker, queue of one: a slow request occupies the worker, the
+     next fills the queue, the third must be refused immediately. *)
+  let config =
+    { Server.default_config with workers = 1; queue_capacity = 1;
+      sim_jobs = Some 1 }
+  in
+  let slow_inst = W.independent W.Near_one ~n:32 ~m:4 ~seed:13 in
+  let quick_inst = W.independent uniform ~n:4 ~m:2 ~seed:14 in
+  with_server ~config (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          let send id body =
+            let s =
+              P.request_to_string
+                { P.id = Some id; deadline_ms = None; body }
+            in
+            ignore (Unix.write_substring fd s 0 (String.length s))
+          in
+          send "slow"
+            (P.Simulate
+               { inst = slow_inst; policy = "greedy"; reps = 2000; seed = 1 });
+          send "queued" (P.Describe quick_inst);
+          send "refused" (P.Describe quick_inst);
+          let rd = Suu_server.Lineio.reader fd in
+          let next_line () = Suu_server.Lineio.next_line rd in
+          let rec read_all acc n =
+            if n = 0 then acc
+            else
+              match P.read_response ~next_line with
+              | Some r -> read_all (r :: acc) (n - 1)
+              | None -> Alcotest.fail "stream ended early"
+          in
+          let responses = read_all [] 3 in
+          (* Whether the worker has already popped the slow job when the
+             follow-ups arrive is a benign race: if it has, the second
+             fills the queue and the third is refused; if it has not, the
+             slow job still occupies the queue and both follow-ups are
+             refused.  Either way the slow request entered an empty queue
+             and must succeed, and at least one follow-up must be refused
+             while it runs. *)
+          let rejected =
+            List.filter_map
+              (function
+                | P.Err { id; code = P.Overloaded; _ } -> id
+                | _ -> None)
+              responses
+          in
+          Alcotest.(check bool)
+            "at least one follow-up refused" true
+            (List.length rejected >= 1);
+          Alcotest.(check bool)
+            "the slow request was never refused" false
+            (List.mem "slow" rejected);
+          let slow_ok =
+            List.exists
+              (function
+                | P.Ok { id = Some "slow"; _ } -> true
+                | _ -> false)
+              responses
+          in
+          Alcotest.(check bool) "the slow request succeeded" true slow_ok))
+
+let test_e2e_deadline_timeout () =
+  let config = { Server.default_config with sim_jobs = Some 1 } in
+  let inst = W.independent W.Near_one ~n:32 ~m:4 ~seed:15 in
+  with_server ~config (fun server ->
+      with_client server (fun c ->
+          match
+            Client.call c ~deadline_ms:1
+              (P.Simulate { inst; policy = "greedy"; reps = 5000; seed = 1 })
+          with
+          | P.Err { code = P.Timeout; _ } -> ()
+          | P.Ok _ -> Alcotest.fail "a 1ms deadline cannot be met"
+          | P.Err { code; _ } ->
+              Alcotest.fail
+                ("expected timeout, got " ^ P.error_code_to_string code)))
+
+let test_e2e_deterministic_across_pools () =
+  (* The same simulate request must produce byte-identical response
+     frames whatever the worker count and simulation domain count. *)
+  let inst = W.independent uniform ~n:10 ~m:3 ~seed:16 in
+  let body = P.Simulate { inst; policy = "auto"; reps = 9; seed = 7 } in
+  let bytes_with ~workers ~sim_jobs =
+    let config = { Server.default_config with workers; sim_jobs } in
+    with_server ~config (fun server ->
+        with_client server (fun c ->
+            P.response_to_string (Client.call c body)))
+  in
+  Alcotest.(check string)
+    "workers=1/jobs=1 vs workers=4/jobs=4"
+    (bytes_with ~workers:1 ~sim_jobs:(Some 1))
+    (bytes_with ~workers:4 ~sim_jobs:(Some 4))
+
+let test_e2e_graceful_shutdown_drains () =
+  (* Stop must let an in-flight request finish and its reply reach the
+     client before the connection is torn down. *)
+  let config =
+    { Server.default_config with workers = 1; sim_jobs = Some 1 }
+  in
+  let inst = W.independent W.Near_one ~n:24 ~m:4 ~seed:17 in
+  let server = Server.start ~config () in
+  let result = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        with_client server (fun c ->
+            result :=
+              Some
+                (Client.call c
+                   (P.Simulate
+                      { inst; policy = "greedy"; reps = 500; seed = 2 }))))
+      ()
+  in
+  Thread.delay 0.05;
+  Server.stop server;
+  Thread.join th;
+  match !result with
+  | Some (P.Ok { rtype = "simulate"; fields; _ }) ->
+      Alcotest.(check bool)
+        "got a real summary" true
+        (List.mem_assoc "mean" fields)
+  | Some (P.Err { code; message; _ }) ->
+      Alcotest.fail
+        (Printf.sprintf "in-flight request dropped: [%s] %s"
+           (P.error_code_to_string code)
+           message)
+  | _ -> Alcotest.fail "no response before shutdown completed"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrips" `Quick
+            test_request_roundtrips;
+          Alcotest.test_case "response roundtrips" `Quick
+            test_response_roundtrips;
+          Alcotest.test_case "located parse errors" `Quick
+            test_located_parse_errors;
+          Alcotest.test_case "skip_frame resyncs" `Quick
+            test_skip_frame_resyncs;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo and reject-when-full" `Quick
+            test_bqueue_fifo_and_reject;
+          Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
+          Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "render" `Quick test_metrics_render ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "all request types" `Quick
+            test_e2e_all_request_types;
+          Alcotest.test_case "errors keep the connection" `Quick
+            test_e2e_errors_keep_connection;
+          Alcotest.test_case "parse error then valid frame" `Quick
+            test_e2e_parse_error_then_valid_frame;
+          Alcotest.test_case "overload rejects" `Quick
+            test_e2e_overload_rejects;
+          Alcotest.test_case "deadline timeout" `Quick
+            test_e2e_deadline_timeout;
+          Alcotest.test_case "deterministic across pools" `Quick
+            test_e2e_deterministic_across_pools;
+          Alcotest.test_case "graceful shutdown drains" `Quick
+            test_e2e_graceful_shutdown_drains;
+        ] );
+    ]
