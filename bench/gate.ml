@@ -1,0 +1,184 @@
+(* CI quality gate over the bench harness's artifacts.
+
+   Modes:
+     gate.exe regression CURRENT.json BASELINE.json
+       Compare a fresh tiny-scale BENCH_perf.json / BENCH_serve.json
+       against the committed bench/baseline.json entry of the same
+       experiment.  Tolerances are deliberately generous (2.5x): shared
+       CI runners jitter wildly, and the gate exists to catch
+       order-of-magnitude regressions (an accidentally quadratic loop, a
+       lock on the hot path), not 10% drifts.  Also asserts the absolute
+       instrumentation-overhead budget (obs_overhead_pct < 5).
+
+     gate.exe trace-coverage TRACE.jsonl
+       Validate a SUU_TRACE capture: every line parses as JSON, and at
+       least one simulate request's direct child spans (parse /
+       queue_wait / execute / write) cover >= 95% of the root span's
+       wall time — i.e. the instrumentation accounts for where request
+       time actually goes. *)
+
+module J = Suu_util.Json
+
+let failures = ref []
+
+let failf fmt =
+  Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let okf fmt = Printf.ksprintf (fun s -> Printf.printf "ok: %s\n" s) fmt
+
+(* --- regression mode --- *)
+
+let tolerance = 2.5
+
+let obs_overhead_budget_pct = 5.0
+
+let get_num j path = J.to_float (J.path path j)
+
+(* [check name ~better j_cur j_base path]: compare one metric; [`Higher]
+   means larger is better (throughput), [`Lower] means smaller is better
+   (latency).  A missing metric on either side is itself a failure — the
+   gate must not silently pass because a key was renamed. *)
+let check name ~better cur base path =
+  match (get_num cur path, get_num base path) with
+  | Some c, Some b ->
+      let bad =
+        match better with
+        | `Higher -> b > 0.0 && c < b /. tolerance
+        | `Lower -> b > 0.0 && c > b *. tolerance
+      in
+      if bad then
+        failf "%s regressed beyond %gx: current %.6g vs baseline %.6g" name
+          tolerance c b
+      else okf "%s: current %.6g vs baseline %.6g" name c b
+  | None, _ -> failf "%s missing from current results" name
+  | _, None -> failf "%s missing from baseline" name
+
+(* Phase p50s are only gated when the baseline is big enough to be
+   signal: sub-0.1ms phases on a noisy runner are coin flips. *)
+let check_phase name cur base =
+  let path = [ "phases"; name; "p50_ms" ] in
+  match (get_num cur path, get_num base path) with
+  | Some c, Some b when b >= 0.1 ->
+      if c > b *. tolerance then
+        failf "phase %s p50 regressed beyond %gx: %.4g ms vs %.4g ms" name
+          tolerance c b
+      else okf "phase %s p50: %.4g ms vs baseline %.4g ms" name c b
+  | Some _, Some b ->
+      okf "phase %s p50 below gating floor (baseline %.4g ms), skipped" name b
+  | _ -> okf "phase %s absent on one side, skipped" name
+
+let regression current_path baseline_path =
+  let cur = J.of_file current_path in
+  let all_baselines = J.of_file baseline_path in
+  let experiment =
+    match J.to_string (J.member "experiment" cur) with
+    | Some e -> e
+    | None -> failwith "current results carry no \"experiment\" field"
+  in
+  (* bench/baseline.json holds one entry per experiment. *)
+  let base =
+    match J.member experiment all_baselines with
+    | Some b -> b
+    | None -> failwith ("baseline has no entry for " ^ experiment)
+  in
+  (match experiment with
+  | "perf" ->
+      check "engine steps/sec" ~better:`Higher cur base
+        [ "engine"; "steps_per_sec" ];
+      check "ratio-sweep sequential time" ~better:`Lower cur base
+        [ "ratio_sweep"; "sequential_sec" ];
+      (match get_num cur [ "obs_overhead_pct" ] with
+      | Some pct when pct < obs_overhead_budget_pct ->
+          okf "obs overhead %.2f%% (budget %.0f%%)" pct
+            obs_overhead_budget_pct
+      | Some pct ->
+          failf "obs overhead %.2f%% exceeds the %.0f%% budget" pct
+            obs_overhead_budget_pct
+      | None -> failf "obs_overhead_pct missing from current results");
+      List.iter
+        (fun p -> check_phase p cur base)
+        [ "engine.exec"; "lp1.solve"; "lp.rounding" ]
+  | "serve" ->
+      check "serve throughput" ~better:`Higher cur base [ "throughput_rps" ];
+      check "serve p50 latency" ~better:`Lower cur base [ "latency_ms"; "p50" ];
+      List.iter
+        (fun p -> check_phase p cur base)
+        [ "server.request"; "server.execute"; "server.queue_wait" ]
+  | e -> failwith ("unknown experiment kind " ^ e))
+
+(* --- trace-coverage mode --- *)
+
+let coverage_threshold = 0.95
+
+let trace_coverage path =
+  let ic = open_in path in
+  let spans = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match J.of_string line with
+         | j -> spans := j :: !spans
+         | exception J.Parse_error msg ->
+             failf "trace line %d is not valid JSON: %s" !lineno msg
+     done
+   with End_of_file -> close_in ic);
+  let spans = List.rev !spans in
+  okf "trace has %d spans, all valid JSON" (List.length spans);
+  let num k j = J.to_float (J.member k j) in
+  let str k j = J.to_string (J.member k j) in
+  let roots =
+    List.filter
+      (fun j ->
+        str "name" j = Some "server.request"
+        && J.to_string (J.path [ "attrs"; "type" ] j) = Some "simulate")
+      spans
+  in
+  if roots = [] then failf "trace contains no simulate server.request span"
+  else begin
+    let coverage root =
+      match (num "id" root, num "dur_ns" root) with
+      | Some id, Some dur when dur > 0.0 ->
+          let child_sum =
+            List.fold_left
+              (fun acc j ->
+                if num "parent" j = Some id then
+                  acc +. Option.value (num "dur_ns" j) ~default:0.0
+                else acc)
+              0.0 spans
+          in
+          child_sum /. dur
+      | _ -> 0.0
+    in
+    let best =
+      List.fold_left (fun acc r -> Float.max acc (coverage r)) 0.0 roots
+    in
+    if best >= coverage_threshold then
+      okf "simulate request phase coverage %.1f%% (threshold %.0f%%)"
+        (100.0 *. best)
+        (100.0 *. coverage_threshold)
+    else
+      failf
+        "no simulate request's child spans cover %.0f%% of its wall time \
+         (best %.1f%%)"
+        (100.0 *. coverage_threshold)
+        (100.0 *. best)
+  end
+
+let () =
+  (match Array.to_list Sys.argv with
+  | [ _; "regression"; current; baseline ] -> regression current baseline
+  | [ _; "trace-coverage"; trace ] -> trace_coverage trace
+  | _ ->
+      prerr_endline
+        "usage: gate.exe regression CURRENT.json BASELINE.json\n\
+        \       gate.exe trace-coverage TRACE.jsonl";
+      exit 2);
+  match !failures with
+  | [] -> print_endline "gate: PASS"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) (List.rev fs);
+      Printf.eprintf "gate: %d failure(s)\n" (List.length fs);
+      exit 1

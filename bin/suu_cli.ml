@@ -342,11 +342,18 @@ let action_conv =
       ("stats", `Stats);
     ]
 
-let client action host port policy reps seed deadline_ms shape hazard n m load
-    save =
+let client action host port policy reps seed deadline_ms full shape hazard n m
+    load save =
   let module C = Suu_server.Client in
   let module P = Suu_server.Protocol in
   let instance () = obtain_instance load shape hazard n m seed save in
+  (* The stats reply carries the whole observability registry under
+     "obs." keys — per-phase latency quantiles, engine counters, plan
+     cache.  That firehose drowns the classic summary, so it is hidden
+     unless --full asks for it. *)
+  let wanted (k, _) =
+    full || not (String.length k >= 4 && String.sub k 0 4 = "obs.")
+  in
   try
     let body =
       match action with
@@ -362,7 +369,9 @@ let client action host port policy reps seed deadline_ms shape hazard n m load
       (fun () ->
         match C.call c ?deadline_ms body with
         | P.Ok { fields; _ } ->
-            List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) fields;
+            List.iter
+              (fun (k, v) -> Printf.printf "%s %s\n" k v)
+              (List.filter wanted fields);
             Ok ()
         | P.Err { code; message; _ } ->
             Error
@@ -401,13 +410,21 @@ let client_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Per-request deadline override in milliseconds.")
   in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "For stats: include the full observability snapshot (obs.* \
+             counters and per-phase latency quantiles), hidden by default.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc)
     Term.(
       term_result
         (const client $ action $ host_arg $ port_arg ~default:7483 $ policy
-        $ reps $ seed $ deadline $ shape $ hazard $ n_jobs $ n_machines
-        $ load_arg $ save_arg))
+        $ reps $ seed $ deadline $ full $ shape $ hazard $ n_jobs
+        $ n_machines $ load_arg $ save_arg))
 
 let () =
   let doc = "multiprocessor scheduling under uncertainty (SPAA 2008)" in

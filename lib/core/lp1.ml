@@ -72,6 +72,10 @@ let solve_mwu inst ~jobs ~target ~eps =
 
 let solve ?(solver = Solver_choice.default) inst ~jobs ~target =
   validate inst ~jobs ~target;
-  match solver with
-  | Solver_choice.Simplex -> solve_simplex inst ~jobs ~target
-  | Solver_choice.Mwu eps -> solve_mwu inst ~jobs ~target ~eps
+  Suu_obs.Span.with_span
+    ~attrs:[ ("solver", Solver_choice.name solver) ]
+    "lp1.solve"
+    (fun () ->
+      match solver with
+      | Solver_choice.Simplex -> solve_simplex inst ~jobs ~target
+      | Solver_choice.Mwu eps -> solve_mwu inst ~jobs ~target ~eps)

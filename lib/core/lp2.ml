@@ -19,7 +19,7 @@ let allowed_machines inst ~top_machines j =
       in
       List.filteri (fun idx _ -> idx < k) sorted
 
-let solve ?top_machines inst ~chains =
+let solve_impl ?top_machines inst ~chains =
   let m = Instance.m inst in
   let n = Instance.n inst in
   let covered = Array.make n false in
@@ -99,7 +99,11 @@ let solve ?top_machines inst ~chains =
   in
   { x; d; value }
 
-let round inst frac =
+let solve ?top_machines inst ~chains =
+  Suu_obs.Span.with_span "lp2.solve" (fun () ->
+      solve_impl ?top_machines inst ~chains)
+
+let round_impl inst frac =
   let n = Instance.n inst in
   let jobs = ref [] in
   for j = n - 1 downto 0 do
@@ -113,3 +117,6 @@ let round inst frac =
   Rounding.round
     ~job_cap:(fun j -> Mathx.ceil_pos (6.0 *. frac.d.(j)))
     inst ~jobs ~target:1.0 ~frac:frac.x ~frac_value:frac.value
+
+let round inst frac =
+  Suu_obs.Span.with_span "lp2.rounding" (fun () -> round_impl inst frac)

@@ -22,10 +22,12 @@ type t = {
 }
 
 (* Process-wide aggregates: a resident server creates one cache per
-   policy value, so its stats endpoint wants the sum over all of them. *)
-let g_hits = Atomic.make 0
-let g_misses = Atomic.make 0
-let g_evictions = Atomic.make 0
+   policy value, so its stats endpoint wants the sum over all of them.
+   They live in the Obs registry so one [stats] scrape sees them next
+   to the span histograms they explain. *)
+let g_hits = lazy (Suu_obs.Registry.counter "plan_cache.hits")
+let g_misses = lazy (Suu_obs.Registry.counter "plan_cache.misses")
+let g_evictions = lazy (Suu_obs.Registry.counter "plan_cache.evictions")
 
 (* Distinct survivor sets are trace-dependent, so the table can in
    principle grow without bound across replications; past this size we
@@ -44,12 +46,13 @@ let create ?solver ?(max_entries = default_max_entries) inst =
 let fresh_plan ?solver inst ~round ~survivors =
   if Array.length survivors = 0 then
     invalid_arg "Plan_cache.fresh_plan: empty survivor set";
-  let target = Mathx.target_for_round round in
-  let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:survivors ~target in
-  let rounded =
-    Rounding.round inst ~jobs:survivors ~target ~frac:x ~frac_value:value
-  in
-  Oblivious.of_assignment rounded
+  Suu_obs.Span.with_span "plan_cache.solve" (fun () ->
+      let target = Mathx.target_for_round round in
+      let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:survivors ~target in
+      let rounded =
+        Rounding.round inst ~jobs:survivors ~target ~frac:x ~frac_value:value
+      in
+      Oblivious.of_assignment rounded)
 
 (* Called with the lock held. *)
 let evict_half t =
@@ -59,7 +62,7 @@ let evict_half t =
     | Some k ->
         Hashtbl.remove t.table k;
         t.evictions <- t.evictions + 1;
-        Atomic.incr g_evictions
+        Suu_obs.Counter.incr (Lazy.force g_evictions)
     | None -> ()
   done
 
@@ -68,12 +71,12 @@ let plan t ~round ~survivors =
   match Hashtbl.find_opt t.table (round, survivors) with
   | Some p ->
       t.hits <- t.hits + 1;
-      Atomic.incr g_hits;
+      Suu_obs.Counter.incr (Lazy.force g_hits);
       Mutex.unlock t.lock;
       p
   | None ->
       t.misses <- t.misses + 1;
-      Atomic.incr g_misses;
+      Suu_obs.Counter.incr (Lazy.force g_misses);
       (* Solve under the lock: concurrent replications of the same
          instance mostly want the same plan, so serializing the solve
          lets every other domain reuse it instead of re-deriving it. *)
@@ -104,6 +107,6 @@ let size t =
   n
 
 let global_stats () =
-  { hits = Atomic.get g_hits;
-    misses = Atomic.get g_misses;
-    evictions = Atomic.get g_evictions }
+  { hits = Suu_obs.Counter.get (Lazy.force g_hits);
+    misses = Suu_obs.Counter.get (Lazy.force g_misses);
+    evictions = Suu_obs.Counter.get (Lazy.force g_evictions) }

@@ -1,4 +1,4 @@
-let round ?job_cap inst ~jobs ~target ~frac ~frac_value =
+let round_impl ?job_cap inst ~jobs ~target ~frac ~frac_value =
   let m = Instance.m inst in
   let n = Instance.n inst in
   let ell' i j = Instance.clipped_log_failure inst ~target i j in
@@ -87,3 +87,7 @@ let round ?job_cap inst ~jobs ~target ~frac ~frac_value =
     (fun (i, j) e -> x.(i).(j) <- x.(i).(j) + Suu_flow.Net.flow_on net e)
     job_edges;
   Assignment.make x
+
+let round ?job_cap inst ~jobs ~target ~frac ~frac_value =
+  Suu_obs.Span.with_span "lp.rounding" (fun () ->
+      round_impl ?job_cap inst ~jobs ~target ~frac ~frac_value)

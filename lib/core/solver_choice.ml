@@ -3,3 +3,7 @@ type t = Simplex | Mwu of float
 let default = Simplex
 
 let guarantee = function Simplex -> 1.0 | Mwu eps -> 1.0 +. (5.0 *. eps)
+
+let name = function
+  | Simplex -> "simplex"
+  | Mwu eps -> Printf.sprintf "mwu-%g" eps

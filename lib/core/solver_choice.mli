@@ -14,3 +14,6 @@ val guarantee : t -> float
 (** [guarantee s] is an upper bound on [value / optimum] for solutions
     produced by [s]: [1.0] for the simplex, [1 + 5 eps] for MWU (the
     constant is validated against the simplex in the test suite). *)
+
+val name : t -> string
+(** Short label for telemetry: ["simplex"], ["mwu-0.1"], ... *)

@@ -1,0 +1,13 @@
+type t = { name : string; cell : int Atomic.t }
+
+let create name = { name; cell = Atomic.make 0 }
+
+let name t = t.name
+
+let incr t = Atomic.incr t.cell
+
+let add t k =
+  if k < 0 then invalid_arg "Counter.add: negative increment";
+  ignore (Atomic.fetch_and_add t.cell k)
+
+let get t = Atomic.get t.cell

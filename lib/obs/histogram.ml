@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  bounds : float array;
+  counts : int array; (* one per bound, plus overflow at the end *)
+  mutable sum : float;
+  mutable count : int;
+  lock : Mutex.t;
+}
+
+type snapshot = { count : int; sum : float; buckets : int array }
+
+(* {1, 2.5, 5} x 10^k seconds, 1us .. 50s.  Wide enough for a single
+   LP solve and fine enough to separate a 3us from a 30us span. *)
+let default_bounds =
+  let decades = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |] in
+  let steps = [| 1.0; 2.5; 5.0 |] in
+  Array.concat
+    (Array.to_list
+       (Array.map (fun d -> Array.map (fun s -> s *. d) steps) decades))
+
+let validate_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Histogram.create: empty bounds";
+  Array.iteri
+    (fun i b ->
+      if b <= 0.0 || (i > 0 && b <= bounds.(i - 1)) then
+        invalid_arg
+          "Histogram.create: bounds must be positive and strictly increasing")
+    bounds
+
+let create ?lock ?(bounds = default_bounds) name =
+  validate_bounds bounds;
+  let lock = match lock with Some l -> l | None -> Mutex.create () in
+  { name; bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0;
+    lock }
+
+let name t = t.name
+
+let bounds t = t.bounds
+
+(* First bucket whose bound is >= v (binary search); overflow past the
+   last bound.  v <= 0 lands in bucket 0. *)
+let bucket_index t v =
+  let nb = Array.length t.bounds in
+  if v <= t.bounds.(0) then 0
+  else if v > t.bounds.(nb - 1) then nb
+  else begin
+    (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+    let lo = ref 0 and hi = ref (nb - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let unsafe_record t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. Float.max 0.0 v
+
+let record t v =
+  Mutex.lock t.lock;
+  unsafe_record t v;
+  Mutex.unlock t.lock
+
+let unsafe_snapshot (t : t) =
+  { count = t.count; sum = t.sum; buckets = Array.copy t.counts }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let s = unsafe_snapshot t in
+  Mutex.unlock t.lock;
+  s
+
+let mean snap =
+  if snap.count = 0 then 0.0 else snap.sum /. float_of_int snap.count
+
+let quantile t snap p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg "Histogram.quantile: p must be in [0, 1]";
+  if snap.count = 0 then 0.0
+  else begin
+    let nb = Array.length t.bounds in
+    (* Rank in [0, count]; find the bucket holding it cumulatively. *)
+    let rank = p *. float_of_int snap.count in
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i <= nb
+      && float_of_int (!cum + snap.buckets.(min !i nb)) < rank
+    do
+      cum := !cum + snap.buckets.(!i);
+      incr i
+    done;
+    if !i >= nb then t.bounds.(nb - 1) (* overflow: report the last bound *)
+    else begin
+      let lower = if !i = 0 then 0.0 else t.bounds.(!i - 1) in
+      let upper = t.bounds.(!i) in
+      let inbucket = snap.buckets.(!i) in
+      if inbucket = 0 then upper
+      else
+        let frac = (rank -. float_of_int !cum) /. float_of_int inbucket in
+        lower +. ((upper -. lower) *. Float.max 0.0 (Float.min 1.0 frac))
+    end
+  end

@@ -1,0 +1,66 @@
+(** Fixed-bucket latency/duration histograms with quantile estimates.
+
+    Bucket upper bounds are fixed at creation (log-spaced from 1µs to
+    50s by default), so counts from successive snapshots can be
+    subtracted and histograms from different processes or scrapes are
+    directly comparable — the reason production metric systems
+    (Prometheus et al.) fix buckets rather than adapt them.
+
+    A value [v] lands in the first bucket whose upper bound is [>= v]
+    ([v <= 0] lands in the first bucket, values above the last bound in
+    the overflow bucket).  Quantiles interpolate linearly inside the
+    bucket, so they are estimates with relative error bounded by the
+    bucket ratio (2–2.5x at the default spacing) and are monotone in the
+    requested rank.
+
+    Thread-safety: recording and snapshotting lock the histogram's
+    mutex.  Histograms created through {!Registry.histogram} share the
+    registry's single mutex, which is what makes one
+    {!Registry.snapshot} a consistent cut across every metric at once
+    (see ISSUE: the counter-vs-histogram race). *)
+
+type t
+
+type snapshot = {
+  count : int;  (** total recorded values, including overflow *)
+  sum : float;  (** sum of recorded values (clamped at 0 below) *)
+  buckets : int array;  (** one count per bound, overflow at the end *)
+}
+
+val default_bounds : float array
+(** Log-spaced upper bounds in seconds: {1, 2.5, 5} x 10^k from 1e-6
+    to 50. *)
+
+val create : ?lock:Mutex.t -> ?bounds:float array -> string -> t
+(** [create name] is an empty histogram guarded by a fresh mutex (or
+    [lock] when given — the registry passes its own so all registered
+    histograms share one).  [bounds] must be strictly increasing and
+    positive. *)
+
+val name : t -> string
+
+val bounds : t -> float array
+
+val record : t -> float -> unit
+(** Record one value (seconds, for span histograms).  Locks. *)
+
+val unsafe_record : t -> float -> unit
+(** Record without taking the lock: the caller must already hold the
+    histogram's mutex (i.e. inside {!Registry.locked} for registered
+    histograms).  Used to update a histogram and its paired counters in
+    one critical section. *)
+
+val snapshot : t -> snapshot
+(** Consistent copy of the current counts.  Locks. *)
+
+val unsafe_snapshot : t -> snapshot
+(** Snapshot without locking; caller holds the mutex. *)
+
+val quantile : t -> snapshot -> float -> float
+(** [quantile t snap p] estimates the [p]-quantile ([0 <= p <= 1]) by
+    linear interpolation inside the containing bucket.  Returns [0.] on
+    an empty snapshot; values in the overflow bucket report the last
+    finite bound.  Monotone in [p]. *)
+
+val mean : snapshot -> float
+(** [sum /. count], [0.] when empty. *)

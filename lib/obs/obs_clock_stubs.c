@@ -1,0 +1,14 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC is immune to wall
+   clock steps (NTP, manual adjustment), so span durations can never go
+   negative and successive reads order correctly within a process. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value suu_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec);
+}

@@ -1,0 +1,108 @@
+type id = int
+
+let next_id = Atomic.make 1
+
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+(* Ambient innermost span, per thread.  Systhreads within one domain
+   share domain-local state, so the context is keyed by thread id (in
+   OCaml 5 thread ids are process-unique).  Only maintained while
+   tracing: histograms don't need parents. *)
+let ctx_lock = Mutex.create ()
+
+let ctx : (int, id list) Hashtbl.t = Hashtbl.create 32
+
+let self () = Thread.id (Thread.self ())
+
+let current () =
+  if not (Trace_sink.enabled ()) then None
+  else begin
+    Mutex.lock ctx_lock;
+    let top =
+      match Hashtbl.find_opt ctx (self ()) with
+      | Some (s :: _) -> Some s
+      | _ -> None
+    in
+    Mutex.unlock ctx_lock;
+    top
+  end
+
+let set_stack stack =
+  Mutex.lock ctx_lock;
+  (match stack with
+  | [] -> Hashtbl.remove ctx (self ())
+  | s -> Hashtbl.replace ctx (self ()) s);
+  Mutex.unlock ctx_lock
+
+let get_stack () =
+  Mutex.lock ctx_lock;
+  let s =
+    match Hashtbl.find_opt ctx (self ()) with Some s -> s | None -> []
+  in
+  Mutex.unlock ctx_lock;
+  s
+
+let with_ambient id f =
+  if not (Trace_sink.enabled ()) then f ()
+  else begin
+    let saved = get_stack () in
+    set_stack (match id with Some i -> [ i ] | None -> []);
+    Fun.protect ~finally:(fun () -> set_stack saved) f
+  end
+
+let dur start stop = Clock.ns_to_s (Int64.sub stop start)
+
+let record ?(attrs = []) ?id ?parent ~name ~start_ns ~stop_ns () =
+  if Registry.enabled () then begin
+    Histogram.record (Registry.histogram name) (dur start_ns stop_ns);
+    if Trace_sink.enabled () then begin
+      let id = match id with Some i -> i | None -> fresh_id () in
+      let parent =
+        match parent with Some _ as p -> p | None -> current ()
+      in
+      Trace_sink.emit ~name ~id ~parent ~start_ns
+        ~dur_ns:(Int64.sub stop_ns start_ns)
+        ~attrs
+    end
+  end
+
+let with_span ?(attrs = []) name f =
+  if not (Registry.enabled ()) then f ()
+  else if not (Trace_sink.enabled ()) then begin
+    (* Fast path: no ambient bookkeeping, just time and record. *)
+    let t0 = Clock.now_ns () in
+    let finish () =
+      Histogram.record (Registry.histogram name)
+        (dur t0 (Clock.now_ns ()))
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+  else begin
+    let id = fresh_id () in
+    let parent =
+      match get_stack () with s :: _ -> Some s | [] -> None
+    in
+    let saved = get_stack () in
+    set_stack (id :: saved);
+    let t0 = Clock.now_ns () in
+    let finish () =
+      let t1 = Clock.now_ns () in
+      set_stack saved;
+      Histogram.record (Registry.histogram name) (dur t0 t1);
+      Trace_sink.emit ~name ~id ~parent ~start_ns:t0
+        ~dur_ns:(Int64.sub t1 t0) ~attrs
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

@@ -1,0 +1,36 @@
+(** JSONL trace sink, gated by [SUU_TRACE].
+
+    When [SUU_TRACE] is set to [1]/[true]/[on], every finished span
+    emits one JSON object per line to [SUU_TRACE_FILE] (default
+    [suu-trace.jsonl] in the working directory):
+
+    {v
+      {"name":"server.execute","id":12,"parent":9,"thread":4,
+       "start_ns":812345678,"dur_ns":51234,
+       "attrs":{"policy":"suu-i-sem"}}
+    v}
+
+    [start_ns] is on the process monotonic clock (arbitrary epoch;
+    subtract the first line's to rebase).  [parent] is absent on root
+    spans.  Lines are flushed as written — a trace survives a crash up
+    to the last complete span.
+
+    Tracing is a debug instrument: the line write takes a sink mutex, so
+    leave it off ([SUU_TRACE] unset) in production serving. *)
+
+val enabled : unit -> bool
+(** True when a sink is active (env-gated, or a test buffer). *)
+
+val emit :
+  name:string ->
+  id:int ->
+  parent:int option ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  attrs:(string * string) list ->
+  unit
+(** Write one span line; no-op when disabled. *)
+
+val use_buffer_for_testing : Buffer.t option -> unit
+(** Redirect emission into a buffer (or restore the env-configured
+    sink with [None]).  Tests only. *)

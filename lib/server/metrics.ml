@@ -1,36 +1,37 @@
 (* Upper bounds of the latency buckets, in milliseconds.  Fixed (not
-   adaptive) so counts from successive stats scrapes can be subtracted. *)
+   adaptive) so counts from successive stats scrapes can be subtracted.
+   Kept from before the Obs migration so existing scrape consumers see
+   identical keys. *)
 let bucket_ms = [| 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000 |]
 
+let bounds_s =
+  Array.map (fun ms -> float_of_int ms /. 1000.0) bucket_ms
+
+(* The request counters and the latency histogram are updated and
+   snapshotted under the same mutex (the histogram is created sharing
+   [lock]), so a rendered snapshot can never show a histogram total that
+   disagrees with [requests_total] — previously the counters and buckets
+   were read in two separate critical sections. *)
 type t = {
   lock : Mutex.t;
   by_type : (string, int ref) Hashtbl.t;
   by_code : (string, int ref) Hashtbl.t;
   mutable ok : int;
   mutable total : int;
-  buckets : int array; (* one per bound, plus overflow at the end *)
-  mutable latency_sum : float; (* seconds *)
+  latency : Suu_obs.Histogram.t;
 }
 
 let create () =
-  { lock = Mutex.create (); by_type = Hashtbl.create 8;
-    by_code = Hashtbl.create 8; ok = 0; total = 0;
-    buckets = Array.make (Array.length bucket_ms + 1) 0;
-    latency_sum = 0.0 }
+  let lock = Mutex.create () in
+  { lock; by_type = Hashtbl.create 8; by_code = Hashtbl.create 8; ok = 0;
+    total = 0;
+    latency = Suu_obs.Histogram.create ~lock ~bounds:bounds_s "server.latency"
+  }
 
 let bump tbl key =
   match Hashtbl.find_opt tbl key with
   | Some r -> incr r
   | None -> Hashtbl.add tbl key (ref 1)
-
-let bucket_index latency =
-  let ms = latency *. 1000.0 in
-  let rec find i =
-    if i >= Array.length bucket_ms then i
-    else if ms <= float_of_int bucket_ms.(i) then i
-    else find (i + 1)
-  in
-  find 0
 
 let observe t ~rtype ~code ~latency =
   Mutex.lock t.lock;
@@ -39,9 +40,7 @@ let observe t ~rtype ~code ~latency =
   (match code with
   | None -> t.ok <- t.ok + 1
   | Some c -> bump t.by_code c);
-  let i = bucket_index latency in
-  t.buckets.(i) <- t.buckets.(i) + 1;
-  t.latency_sum <- t.latency_sum +. Float.max 0.0 latency;
+  Suu_obs.Histogram.unsafe_record t.latency (Float.max 0.0 latency);
   Mutex.unlock t.lock
 
 let get tbl key =
@@ -49,6 +48,7 @@ let get tbl key =
 
 let render t =
   Mutex.lock t.lock;
+  let snap = Suu_obs.Histogram.unsafe_snapshot t.latency in
   let fields = ref [] in
   let add k v = fields := (k, string_of_int v) :: !fields in
   add "requests_total" t.total;
@@ -67,7 +67,8 @@ let render t =
       if i < Array.length bucket_ms then
         add (Printf.sprintf "latency_le_%dms" bucket_ms.(i)) c
       else add "latency_gt_5000ms" c)
-    t.buckets;
-  add "latency_sum_us" (int_of_float (t.latency_sum *. 1e6));
+    snap.Suu_obs.Histogram.buckets;
+  add "latency_sum_us"
+    (int_of_float (snap.Suu_obs.Histogram.sum *. 1e6));
   Mutex.unlock t.lock;
   List.rev !fields

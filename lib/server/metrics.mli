@@ -8,7 +8,14 @@
     internal_errors), plan-cache aggregates are appended by the caller,
     and the histogram appears as cumulative-style [latency_le_<ms>]
     buckets (upper bounds fixed at compile time, so successive scrapes
-    are comparable). *)
+    are comparable).
+
+    Internally the histogram is a {!Suu_obs.Histogram} sharing the
+    instance's single mutex with the counters, so one {!render} is a
+    consistent cut: the bucket totals always sum to [requests_total].
+    Per-phase timings (parse / queue wait / execute / write) are not
+    here — they are process-global {!Suu_obs.Registry} histograms fed by
+    the server's spans, appended to the stats reply by the caller. *)
 
 type t
 

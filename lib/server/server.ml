@@ -31,6 +31,11 @@ type job = {
   conn : conn;
   arrival : float;
   deadline : float;
+  root : Suu_obs.Span.id;
+      (* span id of the request's root; phase spans recorded from the
+         reader and worker threads all parent to it *)
+  start_ns : int64; (* first line of the frame (monotonic) *)
+  enq_ns : int64; (* when the job entered the queue *)
 }
 
 type t = {
@@ -59,29 +64,52 @@ let observe t ~rtype ~code ~arrival =
 
 (* --- workers --- *)
 
+(* Close out a request's root span: [server.request] spans (one per
+   request, any outcome) carry the end-to-end latency histogram in the
+   registry, next to the per-phase children. *)
+let finish_root job ~rtype ~code ~stop_ns =
+  Suu_obs.Span.record ~id:job.root
+    ~attrs:
+      [ ("type", rtype); ("code", Option.value code ~default:"ok") ]
+    ~name:"server.request" ~start_ns:job.start_ns ~stop_ns ()
+
 let process t job =
   let now = Unix.gettimeofday () in
+  let t_pop = Suu_obs.Clock.now_ns () in
+  Suu_obs.Span.record ~parent:job.root ~name:"server.queue_wait"
+    ~start_ns:job.enq_ns ~stop_ns:t_pop ();
   let id = job.req.P.id in
   let rtype = P.body_type job.req.P.body in
   if now > job.deadline then begin
     observe t ~rtype ~code:(Some "timeout") ~arrival:job.arrival;
     send job.conn
-      (P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" })
+      (P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" });
+    finish_root job ~rtype ~code:(Some "timeout")
+      ~stop_ns:(Suu_obs.Clock.now_ns ())
   end
-  else
-    match
-      try Service.handle t.service ~deadline:job.deadline job.req.P.body
-      with e ->
-        Result.Error (P.Internal, "unexpected exception: " ^ Printexc.to_string e)
-    with
-    | Result.Ok fields ->
-        observe t ~rtype ~code:None ~arrival:job.arrival;
-        send job.conn (P.Ok { id; rtype; fields })
-    | Result.Error (code, message) ->
-        observe t ~rtype
-          ~code:(Some (P.error_code_to_string code))
-          ~arrival:job.arrival;
-        send job.conn (P.Err { id; code; message })
+  else begin
+    let result =
+      Suu_obs.Span.with_ambient (Some job.root) (fun () ->
+          Suu_obs.Span.with_span "server.execute" (fun () ->
+              try Service.handle t.service ~deadline:job.deadline job.req.P.body
+              with e ->
+                Result.Error
+                  (P.Internal, "unexpected exception: " ^ Printexc.to_string e)))
+    in
+    let code, resp =
+      match result with
+      | Result.Ok fields -> (None, P.Ok { id; rtype; fields })
+      | Result.Error (ec, message) ->
+          (Some (P.error_code_to_string ec), P.Err { id; code = ec; message })
+    in
+    observe t ~rtype ~code ~arrival:job.arrival;
+    let t_w0 = Suu_obs.Clock.now_ns () in
+    send job.conn resp;
+    let t_done = Suu_obs.Clock.now_ns () in
+    Suu_obs.Span.record ~parent:job.root ~name:"server.write" ~start_ns:t_w0
+      ~stop_ns:t_done ();
+    finish_root job ~rtype ~code ~stop_ns:t_done
+  end
 
 let worker_loop t () =
   let rec loop () =
@@ -97,12 +125,30 @@ let worker_loop t () =
 
 let handle_conn t conn =
   let rd = Lineio.reader conn.fd in
-  let next_line () = Lineio.next_line rd in
+  (* A request's wall clock starts when its first line arrives, not when
+     [read_request] is called — the reader blocks on idle connections, and
+     that idle time is not part of any request.  The wrapper stamps the
+     first line of each frame. *)
+  let frame_start = ref 0L in
+  let next_line () =
+    let line = Lineio.next_line rd in
+    if Int64.equal !frame_start 0L then
+      frame_start := Suu_obs.Clock.now_ns ();
+    line
+  in
   let rec loop () =
+    frame_start := 0L;
     match P.read_request ~next_line with
     | None -> ()
     | Some req ->
         let arrival = Unix.gettimeofday () in
+        let t_parsed = Suu_obs.Clock.now_ns () in
+        let start_ns =
+          if Int64.equal !frame_start 0L then t_parsed else !frame_start
+        in
+        let root = Suu_obs.Span.fresh_id () in
+        Suu_obs.Span.record ~parent:root ~name:"server.parse" ~start_ns
+          ~stop_ns:t_parsed ();
         let ms =
           match req.P.deadline_ms with
           | Some d -> d
@@ -110,7 +156,8 @@ let handle_conn t conn =
         in
         let job =
           { req; conn; arrival;
-            deadline = arrival +. (float_of_int ms /. 1000.0) }
+            deadline = arrival +. (float_of_int ms /. 1000.0);
+            root; start_ns; enq_ns = t_parsed }
         in
         if not (Bqueue.try_push t.queue job) then begin
           observe t
@@ -122,7 +169,11 @@ let handle_conn t conn =
               Printf.sprintf "queue full (capacity %d)"
                 (Bqueue.capacity t.queue)
           in
-          send conn (P.Err { id = req.P.id; code = P.Overloaded; message })
+          send conn (P.Err { id = req.P.id; code = P.Overloaded; message });
+          finish_root job
+            ~rtype:(P.body_type req.P.body)
+            ~code:(Some "overloaded")
+            ~stop_ns:(Suu_obs.Clock.now_ns ())
         end;
         loop ()
     | exception P.Parse_error { line; msg } ->

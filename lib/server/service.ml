@@ -238,6 +238,10 @@ let stats_fields t =
        string_of_int pc.Suu_core.Plan_cache.evictions);
       ("instance_cache_entries", string_of_int entries) ]
   @ (match t.extra_stats with Some f -> f () | None -> [])
+  (* Full process-wide observability snapshot: every registry counter
+     and per-phase latency quantiles.  Prefixed "obs." so clients can
+     show the classic summary by default and the firehose on demand. *)
+  @ Suu_obs.Registry.render ()
 
 let handle t ?deadline body =
   try

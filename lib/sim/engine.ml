@@ -17,7 +17,19 @@ type result = {
    [1.0] floors the scale so tiny thresholds keep the old behaviour. *)
 let completion_slack w = 1e-12 *. Float.max 1.0 w
 
+(* Telemetry is recorded per *run*, never per step: two clock reads and a
+   handful of batched counter adds bound the overhead regardless of the
+   makespan.  Counters are lazy so the registry entry only appears once a
+   simulation actually ran in this process. *)
+let c_runs = lazy (Suu_obs.Registry.counter "engine.runs")
+let c_steps = lazy (Suu_obs.Registry.counter "engine.steps")
+let c_busy = lazy (Suu_obs.Registry.counter "engine.busy_steps")
+let c_wasted = lazy (Suu_obs.Registry.counter "engine.wasted_steps")
+let c_idle = lazy (Suu_obs.Registry.counter "engine.idle_steps")
+
 let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
+  let obs = Suu_obs.Registry.enabled () in
+  let t_start = if obs then Suu_obs.Clock.now_ns () else 0L in
   let n = Instance.n inst in
   let m = Instance.m inst in
   if Trace.n trace <> n then invalid_arg "Engine.run: trace size mismatch";
@@ -68,6 +80,7 @@ let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
   (* Scratch for jobs that gained mass this step: at most one push per
      machine, reused across steps (no per-step list cells). *)
   let touched = Array.make (max m 1) 0 in
+  let t_init = if obs then Suu_obs.Clock.now_ns () else 0L in
   while !left > 0 do
     if !time >= cap then raise (Horizon_exceeded cap);
     let a = stepper ~time:!time ~remaining ~eligible in
@@ -111,6 +124,18 @@ let run ?(cap = 4_000_000) ?on_step inst policy ~trace ~rng =
     done;
     incr time
   done;
+  if obs then begin
+    let t_done = Suu_obs.Clock.now_ns () in
+    Suu_obs.Span.record ~name:"engine.init" ~start_ns:t_start ~stop_ns:t_init
+      ();
+    Suu_obs.Span.record ~name:"engine.exec" ~start_ns:t_init ~stop_ns:t_done
+      ();
+    Suu_obs.Counter.incr (Lazy.force c_runs);
+    Suu_obs.Counter.add (Lazy.force c_steps) !time;
+    Suu_obs.Counter.add (Lazy.force c_busy) !busy;
+    Suu_obs.Counter.add (Lazy.force c_wasted) !wasted;
+    Suu_obs.Counter.add (Lazy.force c_idle) !idle
+  end;
   { makespan = !time; busy_steps = !busy; wasted_steps = !wasted;
     idle_steps = !idle }
 

@@ -14,33 +14,63 @@ let default_jobs () =
    worker-private state per domain (policies are not domain-safe to
    share mid-execution); the body writes only to disjoint result slots,
    so no further synchronization is needed. *)
+let c_items = lazy (Suu_obs.Registry.counter "parallel.items")
+
 let run_chunks ~jobs ~chunk ~n ~local body =
   if n > 0 then begin
+    let obs = Suu_obs.Registry.enabled () in
     let jobs = max 1 (min jobs n) in
     if jobs = 1 then begin
+      let t0 = if obs then Suu_obs.Clock.now_ns () else 0L in
       let st = local () in
       for i = 0 to n - 1 do
         body st i
-      done
+      done;
+      if obs then begin
+        Suu_obs.Counter.add (Lazy.force c_items) n;
+        Suu_obs.Span.record ~name:"parallel.worker"
+          ~attrs:[ ("items", string_of_int n) ]
+          ~start_ns:t0
+          ~stop_ns:(Suu_obs.Clock.now_ns ())
+          ()
+      end
     end
     else begin
       let chunk = max 1 chunk in
       let nchunks = ((n + chunk - 1) / chunk) in
       let next = Atomic.make 0 in
+      (* Spawned domains start with no ambient span; re-root their
+         per-worker spans under the caller's so a trace shows the fan-out
+         nested inside whatever phase requested it. *)
+      let parent = Suu_obs.Span.current () in
       let worker () =
-        let st = local () in
-        let rec loop () =
-          let c = Atomic.fetch_and_add next 1 in
-          if c < nchunks then begin
-            let lo = c * chunk in
-            let hi = min n (lo + chunk) in
-            for i = lo to hi - 1 do
-              body st i
-            done;
-            loop ()
+        let run () =
+          let t0 = if obs then Suu_obs.Clock.now_ns () else 0L in
+          let st = local () in
+          let mine = ref 0 in
+          let rec loop () =
+            let c = Atomic.fetch_and_add next 1 in
+            if c < nchunks then begin
+              let lo = c * chunk in
+              let hi = min n (lo + chunk) in
+              for i = lo to hi - 1 do
+                body st i
+              done;
+              mine := !mine + (hi - lo);
+              loop ()
+            end
+          in
+          loop ();
+          if obs then begin
+            Suu_obs.Counter.add (Lazy.force c_items) !mine;
+            Suu_obs.Span.record ~name:"parallel.worker" ?parent
+              ~attrs:[ ("items", string_of_int !mine) ]
+              ~start_ns:t0
+              ~stop_ns:(Suu_obs.Clock.now_ns ())
+              ()
           end
         in
-        loop ()
+        Suu_obs.Span.with_ambient parent run
       in
       let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
       worker ();

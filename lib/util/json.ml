@@ -1,0 +1,181 @@
+(* Minimal recursive-descent JSON reader: just enough for the bench
+   gate to read BENCH_*.json, bench/baseline.json and SUU_TRACE JSONL
+   lines without an external dependency.  Integers surface as [Float]
+   (the gate only compares magnitudes); escapes decode the common cases
+   and pass \uXXXX through verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected %C at %d, got %C" c st.pos c'
+  | None -> fail "expected %C at %d, got end of input" c st.pos
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.equal (String.sub st.s st.pos n) word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail "bad literal at %d" st.pos
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char b '\n'; advance st; go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance st; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance st; go ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance st; go ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance st; go ()
+        | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c; advance st; go ()
+        | Some 'u' ->
+            (* Pass through undecoded: the gate never compares such keys. *)
+            Buffer.add_string b "\\u";
+            advance st;
+            go ()
+        | _ -> fail "bad escape at %d" st.pos)
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> num_char c | None -> false) do
+    advance st
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt tok with
+  | Some f -> Float f
+  | None -> fail "bad number %S at %d" tok start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at %d" st.pos
+        in
+        List (elements [])
+      end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing garbage at %d" st.pos;
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s
+
+(* --- accessors --- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let rec path keys j =
+  match keys with
+  | [] -> Some j
+  | k :: rest -> ( match member k j with Some v -> path rest v | None -> None)
+
+let to_float = function
+  | Some (Float f) -> Some f
+  | Some (Bool b) -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+let to_string = function Some (String s) -> Some s | _ -> None
+
+let to_list = function Some (List l) -> Some l | _ -> None

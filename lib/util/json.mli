@@ -1,0 +1,29 @@
+(** Minimal dependency-free JSON reader for the bench gate.
+
+    Parses the JSON this repo itself emits (BENCH_perf.json,
+    BENCH_serve.json, SUU_TRACE JSONL lines).  All numbers surface as
+    [Float]; [\uXXXX] escapes pass through verbatim.  Not a validating
+    general-purpose parser — do not feed it hostile input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+val of_file : string -> t
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val path : string list -> t -> t option
+(** Nested lookup: [path ["a"; "b"] j] is [j.a.b]. *)
+
+val to_float : t option -> float option
+val to_string : t option -> string option
+val to_list : t option -> t list option

@@ -1,0 +1,233 @@
+(* The observability layer: histogram bucket edges and quantiles, the
+   registry's consistent-snapshot guarantee under concurrent multi-domain
+   recording, span nesting in the trace sink, and the JSON reader the
+   bench gate is built on. *)
+
+module Obs = Suu_obs
+module H = Obs.Histogram
+
+let bounds = [| 0.001; 0.01; 0.1; 1.0 |]
+
+(* --- bucket edges --- *)
+
+let test_bucket_edges () =
+  let h = H.create ~bounds "edges" in
+  H.record h 0.0;      (* zero: first bucket *)
+  H.record h (-1.0);   (* negative clamps into the first bucket *)
+  H.record h 0.01;     (* exactly on a boundary: that bucket, not the next *)
+  H.record h 0.05;     (* interior *)
+  H.record h 1.0;      (* exactly on the last finite bound *)
+  H.record h 50.0;     (* over max: overflow *)
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 6 s.H.count;
+  Alcotest.(check (array int)) "bucket placement"
+    [| 2; 1; 1; 1; 1 |] s.H.buckets;
+  (* sum clamps the negative record at zero *)
+  Alcotest.(check (float 1e-9)) "sum" 51.06 s.H.sum
+
+let test_empty () =
+  let h = H.create ~bounds "empty" in
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 0 s.H.count;
+  Alcotest.(check (float 0.0)) "median of nothing" 0.0 (H.quantile h s 0.5);
+  Alcotest.(check (float 0.0)) "mean of nothing" 0.0 (H.mean s)
+
+(* --- quantiles --- *)
+
+let test_quantile_monotone () =
+  let h = H.create "mono" in
+  let rng = Suu_prng.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    H.record h (Float.pow 10.0 (Suu_prng.Rng.range rng ~lo:(-6.0) ~hi:1.5))
+  done;
+  let s = H.snapshot h in
+  let prev = ref neg_infinity in
+  for k = 0 to 100 do
+    let q = H.quantile h s (float_of_int k /. 100.0) in
+    if q < !prev then
+      Alcotest.failf "quantile not monotone: p=%d%% gave %g after %g" k q
+        !prev;
+    prev := q
+  done
+
+let test_quantile_brackets () =
+  (* 100 values in (0.01, 0.1]: every interior quantile interpolates
+     within that bucket's range. *)
+  let h = H.create ~bounds "bracket" in
+  for _ = 1 to 100 do
+    H.record h 0.05
+  done;
+  let s = H.snapshot h in
+  List.iter
+    (fun p ->
+      let q = H.quantile h s p in
+      if q < 0.01 || q > 0.1 then
+        Alcotest.failf "p%.0f quantile %g escaped the (0.01, 0.1] bucket"
+          (100.0 *. p) q)
+    [ 0.1; 0.5; 0.9; 0.99 ];
+  (* overflow values report the last finite bound, not infinity *)
+  let h2 = H.create ~bounds "over" in
+  H.record h2 99.0;
+  let s2 = H.snapshot h2 in
+  Alcotest.(check (float 1e-9)) "overflow quantile = last bound" 1.0
+    (H.quantile h2 s2 0.5)
+
+(* --- registry consistency under concurrent recording --- *)
+
+let test_snapshot_consistency () =
+  Obs.Registry.reset_for_testing ();
+  let c = Obs.Registry.counter "t.consistency" in
+  let h = Obs.Registry.histogram "t.consistency" in
+  let domains = 4 and per_domain = 5_000 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  (* A reader domain snapshots continuously: in every cut the histogram's
+     total must equal the counter bumped in the same Registry.observe. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          let snap = Obs.Registry.snapshot () in
+          let cv =
+            List.assoc_opt "t.consistency" snap.Obs.Registry.counters
+          in
+          let hv =
+            List.find_map
+              (fun (name, _, s) ->
+                if String.equal name "t.consistency" then Some s.H.count
+                else None)
+              snap.Obs.Registry.histograms
+          in
+          (match (cv, hv) with
+          | Some cv, Some hv when cv <> hv -> Atomic.incr violations
+          | Some _, Some _ -> ()
+          | _ -> Atomic.incr violations);
+          incr n
+        done;
+        !n)
+  in
+  let writers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Registry.observe c h
+                (0.0001 *. float_of_int (((d * per_domain) + i) mod 100))
+            done))
+  in
+  List.iter Domain.join writers;
+  Atomic.set stop true;
+  let snapshots_taken = Domain.join reader in
+  Alcotest.(check int) "no torn snapshots" 0 (Atomic.get violations);
+  if snapshots_taken < 2 then
+    Alcotest.failf "reader only managed %d snapshots" snapshots_taken;
+  (* Deterministic final state regardless of interleaving. *)
+  let snap = Obs.Registry.snapshot () in
+  Alcotest.(check (option int))
+    "final counter" (Some (domains * per_domain))
+    (List.assoc_opt "t.consistency" snap.Obs.Registry.counters);
+  let hs = H.snapshot h in
+  Alcotest.(check int) "final histogram total" (domains * per_domain)
+    hs.H.count;
+  Obs.Registry.reset_for_testing ()
+
+(* --- spans and the trace sink --- *)
+
+let test_span_nesting () =
+  Obs.Registry.reset_for_testing ();
+  let buf = Buffer.create 256 in
+  Obs.Trace_sink.use_buffer_for_testing (Some buf);
+  Obs.Span.with_span "t.outer" (fun () ->
+      Obs.Span.with_span "t.inner" (fun () -> ()));
+  Obs.Trace_sink.use_buffer_for_testing None;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "two spans emitted" 2 (List.length lines);
+  let find name =
+    match
+      List.find_opt
+        (fun l ->
+          match Suu_util.Json.of_string l with
+          | j ->
+              Suu_util.Json.to_string (Suu_util.Json.member "name" j)
+              = Some name
+          | exception _ -> false)
+        lines
+    with
+    | Some l -> Suu_util.Json.of_string l
+    | None -> Alcotest.failf "span %s not in trace" name
+  in
+  let inner = find "t.inner" and outer = find "t.outer" in
+  let num k j = Suu_util.Json.to_float (Suu_util.Json.member k j) in
+  Alcotest.(check (option (float 0.0)))
+    "inner parented to outer" (num "id" outer) (num "parent" inner);
+  Alcotest.(check (option (float 0.0)))
+    "outer is a root" None (num "parent" outer);
+  (* Both spans also landed in registry histograms. *)
+  let snap = Obs.Registry.snapshot () in
+  Alcotest.(check int) "two phase histograms" 2
+    (List.length snap.Obs.Registry.histograms);
+  Obs.Registry.reset_for_testing ()
+
+let test_disabled_is_transparent () =
+  Obs.Registry.reset_for_testing ();
+  Obs.Registry.set_enabled false;
+  let r = Obs.Span.with_span "t.off" (fun () -> 42) in
+  Obs.Registry.set_enabled true;
+  Alcotest.(check int) "body result passes through" 42 r;
+  let snap = Obs.Registry.snapshot () in
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (List.length snap.Obs.Registry.histograms)
+
+(* --- the gate's JSON reader --- *)
+
+let test_json_roundtrip () =
+  let j =
+    Suu_util.Json.of_string
+      {|{"a": {"b": [1, 2.5, -3e-2]}, "s": "x\ny", "t": true, "n": null}|}
+  in
+  let module J = Suu_util.Json in
+  Alcotest.(check (option (float 1e-12)))
+    "nested number" (Some 2.5)
+    (match J.to_list (J.path [ "a"; "b" ] j) with
+    | Some [ _; x; _ ] -> J.to_float (Some x)
+    | _ -> None);
+  Alcotest.(check (option string)) "escapes" (Some "x\ny")
+    (J.to_string (J.member "s" j));
+  Alcotest.(check (option (float 0.0))) "bool" (Some 1.0)
+    (J.to_float (J.member "t" j));
+  (match J.of_string "{\"a\": 1," with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "truncated JSON should not parse");
+  match J.of_string "[1, 2] trailing" with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "trailing garbage should not parse"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "quantile monotone" `Quick
+            test_quantile_monotone;
+          Alcotest.test_case "quantile brackets" `Quick
+            test_quantile_brackets;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "concurrent snapshot consistency" `Quick
+            test_snapshot_consistency;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting in trace" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_disabled_is_transparent;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "reader" `Quick test_json_roundtrip ] );
+    ]
