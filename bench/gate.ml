@@ -104,6 +104,26 @@ let regression current_path baseline_path =
       List.iter
         (fun p -> check_phase p cur base)
         [ "server.request"; "server.execute"; "server.queue_wait" ]
+  | "chaos" ->
+      (* Fault tolerance is a correctness gate, not a tolerance band:
+         with retries enabled, anything short of 100% completion means
+         a request was lost — retry logic broken, not a slow runner. *)
+      (match get_num cur [ "success_rate" ] with
+      | Some r when r >= 1.0 -> okf "chaos success rate %.6g (must be 1)" r
+      | Some r ->
+          failf "chaos success rate %.6g: requests lost despite retries" r
+      | None -> failf "success_rate missing from current results");
+      (* The run must actually have been chaotic — a silently disarmed
+         injector would make the 100% claim vacuous. *)
+      (match get_num cur [ "injected"; "total" ] with
+      | Some t when t > 0.0 -> okf "chaos injected %.0f faults" t
+      | Some _ -> failf "chaos run injected no faults (injector disarmed?)"
+      | None -> failf "injected.total missing from current results");
+      (match get_num cur [ "client_retries" ] with
+      | Some r when r > 0.0 -> okf "clients retried %.0f times" r
+      | Some _ -> failf "chaos run saw no client retries (faults inert?)"
+      | None -> failf "client_retries missing from current results");
+      check "chaos throughput" ~better:`Higher cur base [ "throughput_rps" ]
   | e -> failwith ("unknown experiment kind " ^ e))
 
 (* --- trace-coverage mode --- *)

@@ -1147,12 +1147,199 @@ let serve_bench () =
     failwith "serve bench: simulate responses differ across worker counts"
 
 (* ------------------------------------------------------------------ *)
+(* chaos — the fault-tolerance harness: an in-process server with the
+   fault injector armed (dropped, delayed, corrupted and torn replies,
+   plus injected worker crashes) hammered by retrying clients.  The
+   claim under test is that bounded retries recover EVERY request —
+   success_rate below 1.0 fails the bench (and the gate), because a
+   lost request under these fault rates means the retry logic, not the
+   network, is broken. *)
+
+let chaos_bench () =
+  section "chaos: fault-injected suu-serve vs retrying clients";
+  let module Server = Suu_server.Server in
+  let module Client = Suu_server.Client in
+  let module Faults = Suu_server.Faults in
+  let module P = Suu_server.Protocol in
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let clients = if tiny then 4 else 8 in
+  let per_client = if tiny then 25 else 150 in
+  let sim_reps = if tiny then 8 else 32 in
+  let retries = 8 and timeout_ms = 400 in
+  let workers = 4 and queue_capacity = 32 in
+  let fault_config =
+    match
+      Faults.of_spec
+        "drop=0.08,delay=0.08:10,error=0.04,kill=0.04,crash=0.04,seed=1234"
+    with
+    | Result.Ok c -> c
+    | Result.Error msg -> failwith ("chaos bench: bad fault spec: " ^ msg)
+  in
+  (* The injector, the server workers and the clients all share this
+     process's registry; counters are sampled before and after so the
+     artifact reports this run's deltas even when other benches ran
+     first in the same process. *)
+  let tracked =
+    [ "faults.injected.drop"; "faults.injected.delay";
+      "faults.injected.error"; "faults.injected.kill";
+      "faults.injected.crash"; "server.worker.restarts"; "client.retries";
+      "client.timeouts"; "client.reconnects"; "client.giveups" ]
+  in
+  let sample () =
+    List.map
+      (fun n -> (n, Suu_obs.Counter.get (Suu_obs.Registry.counter n)))
+      tracked
+  in
+  let before = sample () in
+  let config =
+    { Server.default_config with
+      workers; queue_capacity; faults = Some fault_config }
+  in
+  let server = Server.start ~config () in
+  let port = Server.port server in
+  let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let pool =
+    [|
+      W.independent uniform ~n:12 ~m:4 ~seed:31;
+      W.random_chains uniform ~n:12 ~z:3 ~m:4 ~seed:32;
+      W.forest uniform ~n:12 ~trees:2 ~orientation:`Mixed ~m:4 ~seed:33;
+    |]
+  in
+  let pick_body rng =
+    let inst = pool.(Suu_prng.Rng.int rng (Array.length pool)) in
+    let roll = Suu_prng.Rng.int rng 100 in
+    if roll < 35 then
+      P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = roll }
+    else if roll < 60 then P.Plan { inst; policy = "auto"; seed = roll }
+    else if roll < 80 then P.Describe inst
+    else if roll < 95 then P.Lower_bound inst
+    else P.Stats
+  in
+  let t0 = Unix.gettimeofday () in
+  let slots = Array.make clients ([], 0, 0) in
+  let client_threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Suu_prng.Rng.create ~seed:(9100 + i) in
+            let c =
+              Client.connect ~port ~retries ~timeout_ms ~backoff_ms:5
+                ~retry_seed:(7100 + i) ()
+            in
+            let lats = ref [] and done_ = ref 0 and failed = ref 0 in
+            for _ = 1 to per_client do
+              let body = pick_body rng in
+              let s = Unix.gettimeofday () in
+              (match Client.call c body with
+              | P.Ok _ -> incr done_
+              | P.Err _ -> incr failed
+              | exception (Client.Protocol_failure _ | Unix.Unix_error _) ->
+                  incr failed);
+              lats := (Unix.gettimeofday () -. s) :: !lats
+            done;
+            Client.close c;
+            slots.(i) <- (!lats, !done_, !failed))
+          ())
+  in
+  List.iter Thread.join client_threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.stop server;
+  let results = Array.to_list slots in
+  let completed = List.fold_left (fun a (_, d, _) -> a + d) 0 results in
+  let failed = List.fold_left (fun a (_, _, f) -> a + f) 0 results in
+  let requests = clients * per_client in
+  let success_rate = float_of_int completed /. float_of_int requests in
+  let lats = Array.of_list (List.concat_map (fun (l, _, _) -> l) results) in
+  let q p = 1000.0 *. Summary.quantile lats p in
+  let after = sample () in
+  let delta name =
+    List.assoc name after - List.assoc name before
+  in
+  let injected_total =
+    List.fold_left
+      (fun a n -> a + delta n)
+      0
+      [ "faults.injected.drop"; "faults.injected.delay";
+        "faults.injected.error"; "faults.injected.kill";
+        "faults.injected.crash" ]
+  in
+  note "faults: %s" (Faults.to_spec fault_config);
+  note "clients=%d requests=%d wall=%.2fs throughput=%.1f req/s" clients
+    requests wall
+    (float_of_int requests /. wall);
+  note "completed=%d failed=%d (success rate %.1f%%)" completed failed
+    (100.0 *. success_rate);
+  note
+    "injected: drop=%d delay=%d error=%d kill=%d crash=%d (total %d), \
+     worker_restarts=%d"
+    (delta "faults.injected.drop")
+    (delta "faults.injected.delay")
+    (delta "faults.injected.error")
+    (delta "faults.injected.kill")
+    (delta "faults.injected.crash")
+    injected_total
+    (delta "server.worker.restarts");
+  note "client: retries=%d timeouts=%d reconnects=%d giveups=%d"
+    (delta "client.retries") (delta "client.timeouts")
+    (delta "client.reconnects") (delta "client.giveups");
+  note "latency ms (incl. retries): p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    (q 0.5) (q 0.95) (q 0.99) (q 1.0);
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"experiment\": \"chaos\",\n";
+  bpf "  \"scale\": \"%s\",\n" (if tiny then "tiny" else "full");
+  bpf "  \"config\": {\"clients\": %d, \"per_client\": %d, \"workers\": %d, \
+       \"queue_capacity\": %d, \"sim_reps\": %d, \"retries\": %d, \
+       \"timeout_ms\": %d, \"faults\": \"%s\"},\n"
+    clients per_client workers queue_capacity sim_reps retries timeout_ms
+    (Faults.to_spec fault_config);
+  bpf "  \"wall_sec\": %.6g,\n" wall;
+  bpf "  \"throughput_rps\": %.6g,\n" (float_of_int requests /. wall);
+  bpf "  \"requests\": %d,\n" requests;
+  bpf "  \"completed\": %d,\n" completed;
+  bpf "  \"failed\": %d,\n" failed;
+  bpf "  \"success_rate\": %.6g,\n" success_rate;
+  bpf "  \"injected\": {\"drop\": %d, \"delay\": %d, \"error\": %d, \
+       \"kill\": %d, \"crash\": %d, \"total\": %d},\n"
+    (delta "faults.injected.drop")
+    (delta "faults.injected.delay")
+    (delta "faults.injected.error")
+    (delta "faults.injected.kill")
+    (delta "faults.injected.crash")
+    injected_total;
+  bpf "  \"worker_restarts\": %d,\n" (delta "server.worker.restarts");
+  bpf "  \"client_retries\": %d,\n" (delta "client.retries");
+  bpf "  \"client_timeouts\": %d,\n" (delta "client.timeouts");
+  bpf "  \"client_reconnects\": %d,\n" (delta "client.reconnects");
+  bpf "  \"client_giveups\": %d,\n" (delta "client.giveups");
+  bpf "  \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, \
+       \"max\": %.6g}\n"
+    (q 0.5) (q 0.95) (q 0.99) (q 1.0);
+  bpf "}\n";
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  note "\nwrote BENCH_chaos.json";
+  if injected_total = 0 then
+    failwith "chaos bench: fault injector never fired";
+  if success_rate < 1.0 then
+    failwith
+      (Printf.sprintf
+         "chaos bench: %d of %d requests lost despite retries" failed
+         requests)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e1m", e1m); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2); ("a3", a3);
-    ("perf", perf); ("serve", serve_bench);
+    ("perf", perf); ("serve", serve_bench); ("chaos", chaos_bench);
   ]
 
 let () =

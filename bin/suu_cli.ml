@@ -273,16 +273,18 @@ let gantt_cmd =
 
 (* --- serve --- *)
 
-let serve host port workers queue deadline_ms sim_jobs =
+let serve host port workers queue deadline_ms sim_jobs faults =
   Suu_server.Server.run
     ~config:
       {
-        Suu_server.Server.host;
+        Suu_server.Server.default_config with
+        host;
         port;
         workers;
         queue_capacity = queue;
         default_deadline_ms = deadline_ms;
         sim_jobs;
+        faults;
       }
     ()
 
@@ -324,11 +326,30 @@ let serve_cmd =
       & info [ "sim-jobs" ] ~docv:"D"
           ~doc:"Domains per simulate request (default: SUU_JOBS or cores).")
   in
+  let faults_conv =
+    let parse s =
+      match Suu_server.Faults.of_spec s with
+      | Result.Ok c -> Ok c
+      | Result.Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun ppf c ->
+        Format.pp_print_string ppf (Suu_server.Faults.to_spec c))
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-injection spec, e.g. \
+             drop=0.05,delay=0.1:25,error=0.01,kill=0.01,crash=0.02,seed=42. \
+             Overrides the SUU_FAULTS environment variable.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ host_arg $ port_arg ~default:7483 $ workers $ queue
-      $ deadline $ sim_jobs)
+      $ deadline $ sim_jobs $ faults)
 
 (* --- client --- *)
 
@@ -342,8 +363,8 @@ let action_conv =
       ("stats", `Stats);
     ]
 
-let client action host port policy reps seed deadline_ms full shape hazard n m
-    load save =
+let client action host port policy reps seed deadline_ms full retries
+    timeout_ms shape hazard n m load save =
   let module C = Suu_server.Client in
   let module P = Suu_server.Protocol in
   let instance () = obtain_instance load shape hazard n m seed save in
@@ -354,6 +375,22 @@ let client action host port policy reps seed deadline_ms full shape hazard n m
   let wanted (k, _) =
     full || not (String.length k >= 4 && String.sub k 0 4 = "obs.")
   in
+  (* Retry/timeout/reconnect counters live in THIS process's registry —
+     the server cannot count replies the network lost — so stats --full
+     appends them to the server's snapshot, under a prefix that says
+     whose counters they are. *)
+  let local_client_obs () =
+    if not full then []
+    else
+      List.filter_map
+        (fun (k, v) ->
+          let pfx = "obs.counter.client." in
+          let lp = String.length pfx in
+          if String.length k >= lp && String.sub k 0 lp = pfx then
+            Some ("local." ^ k, v)
+          else None)
+        (Suu_obs.Registry.render ())
+  in
   try
     let body =
       match action with
@@ -363,7 +400,7 @@ let client action host port policy reps seed deadline_ms full shape hazard n m
       | `Simulate -> P.Simulate { inst = instance (); policy; reps; seed }
       | `Stats -> P.Stats
     in
-    let c = C.connect ~host ~port () in
+    let c = C.connect ~host ~port ~retries ?timeout_ms () in
     Fun.protect
       ~finally:(fun () -> C.close c)
       (fun () ->
@@ -371,7 +408,7 @@ let client action host port policy reps seed deadline_ms full shape hazard n m
         | P.Ok { fields; _ } ->
             List.iter
               (fun (k, v) -> Printf.printf "%s %s\n" k v)
-              (List.filter wanted fields);
+              (List.filter wanted fields @ local_client_obs ());
             Ok ()
         | P.Err { code; message; _ } ->
             Error
@@ -416,15 +453,33 @@ let client_cmd =
       & info [ "full" ]
           ~doc:
             "For stats: include the full observability snapshot (obs.* \
-             counters and per-phase latency quantiles), hidden by default.")
+             counters and per-phase latency quantiles, plus this \
+             client's own local.obs.counter.client.* resilience \
+             counters), hidden by default.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transient failures (transport errors, torn frames, \
+             timeouts, internal/overloaded replies) up to N extra times \
+             with capped exponential backoff.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-attempt response timeout in milliseconds.")
   in
   Cmd.v
     (Cmd.info "client" ~doc)
     Term.(
       term_result
         (const client $ action $ host_arg $ port_arg ~default:7483 $ policy
-        $ reps $ seed $ deadline $ full $ shape $ hazard $ n_jobs
-        $ n_machines $ load_arg $ save_arg))
+        $ reps $ seed $ deadline $ full $ retries $ timeout $ shape $ hazard
+        $ n_jobs $ n_machines $ load_arg $ save_arg))
 
 let () =
   let doc = "multiprocessor scheduling under uncertainty (SPAA 2008)" in

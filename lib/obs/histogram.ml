@@ -4,10 +4,11 @@ type t = {
   counts : int array; (* one per bound, plus overflow at the end *)
   mutable sum : float;
   mutable count : int;
+  mutable vmax : float; (* largest recorded value; 0 when empty *)
   lock : Mutex.t;
 }
 
-type snapshot = { count : int; sum : float; buckets : int array }
+type snapshot = { count : int; sum : float; buckets : int array; max : float }
 
 (* {1, 2.5, 5} x 10^k seconds, 1us .. 50s.  Wide enough for a single
    LP solve and fine enough to separate a 3us from a 30us span. *)
@@ -33,7 +34,7 @@ let create ?lock ?(bounds = default_bounds) name =
   let lock = match lock with Some l -> l | None -> Mutex.create () in
   { name; bounds = Array.copy bounds;
     counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0;
-    lock }
+    vmax = 0.0; lock }
 
 let name t = t.name
 
@@ -55,11 +56,18 @@ let bucket_index t v =
     !hi
   end
 
+(* A negative (or NaN) input is clamped to zero ONCE, so the bucket
+   placement, the sum and the running max all describe the same value —
+   previously the sum clamped but bucket 0 counted the raw record, so a
+   burst of negative inputs dragged the mean while the buckets showed
+   plausible zeros. *)
 let unsafe_record t v =
+  let v = if v > 0.0 then v else 0.0 in
   let i = bucket_index t v in
   t.counts.(i) <- t.counts.(i) + 1;
   t.count <- t.count + 1;
-  t.sum <- t.sum +. Float.max 0.0 v
+  t.sum <- t.sum +. v;
+  if v > t.vmax then t.vmax <- v
 
 let record t v =
   Mutex.lock t.lock;
@@ -67,7 +75,8 @@ let record t v =
   Mutex.unlock t.lock
 
 let unsafe_snapshot (t : t) =
-  { count = t.count; sum = t.sum; buckets = Array.copy t.counts }
+  { count = t.count; sum = t.sum; buckets = Array.copy t.counts;
+    max = t.vmax }
 
 let snapshot t =
   Mutex.lock t.lock;
@@ -94,7 +103,12 @@ let quantile t snap p =
       cum := !cum + snap.buckets.(!i);
       incr i
     done;
-    if !i >= nb then t.bounds.(nb - 1) (* overflow: report the last bound *)
+    if !i >= nb then
+      (* Overflow: a rank lands here only when some value exceeded the
+         last bound, so the observed max is both finite and above that
+         bound.  Reporting it (instead of capping at bounds.(nb-1))
+         keeps a 5-minute stall from masquerading as a 50 s p99. *)
+      Float.max snap.max t.bounds.(nb - 1)
     else begin
       let lower = if !i = 0 then 0.0 else t.bounds.(!i - 1) in
       let upper = t.bounds.(!i) in

@@ -25,6 +25,7 @@ type snapshot = {
   count : int;  (** total recorded values, including overflow *)
   sum : float;  (** sum of recorded values (clamped at 0 below) *)
   buckets : int array;  (** one count per bound, overflow at the end *)
+  max : float;  (** largest recorded value ([0.] when empty) *)
 }
 
 val default_bounds : float array
@@ -42,7 +43,10 @@ val name : t -> string
 val bounds : t -> float array
 
 val record : t -> float -> unit
-(** Record one value (seconds, for span histograms).  Locks. *)
+(** Record one value (seconds, for span histograms).  Negative or NaN
+    values are clamped to [0.] before they touch the buckets, the sum
+    and the max, so every view of the histogram describes the same
+    data.  Locks. *)
 
 val unsafe_record : t -> float -> unit
 (** Record without taking the lock: the caller must already hold the
@@ -59,8 +63,10 @@ val unsafe_snapshot : t -> snapshot
 val quantile : t -> snapshot -> float -> float
 (** [quantile t snap p] estimates the [p]-quantile ([0 <= p <= 1]) by
     linear interpolation inside the containing bucket.  Returns [0.] on
-    an empty snapshot; values in the overflow bucket report the last
-    finite bound.  Monotone in [p]. *)
+    an empty snapshot; ranks landing in the overflow bucket report the
+    observed maximum (which is necessarily above the last finite bound),
+    not the last bound — a tail beyond the bucket range stays visible
+    instead of being silently capped.  Monotone in [p]. *)
 
 val mean : snapshot -> float
 (** [sum /. count], [0.] when empty. *)

@@ -1,30 +1,63 @@
-(** Synchronous client for the [suu-serve] protocol.
+(** Synchronous client for the [suu-serve] protocol, with optional
+    timeouts and retries.
 
     One value is one TCP connection; {!call} writes a request frame and
     blocks for the matching response (the protocol is strictly
     request/response per connection, so no correlation machinery is
-    needed — [id] is still attached for log readability).  Not
-    thread-safe: share a connection between threads behind a lock, or
-    open one per thread (the load generator does the latter). *)
+    needed).  Not thread-safe: share a connection between threads
+    behind a lock, or open one per thread (the load generator does the
+    latter).
+
+    Resilience (all off by default): [timeout_ms] bounds each attempt's
+    wait for a response on the monotonic clock; [retries] re-sends the
+    request up to that many extra times on transient failures —
+    transport errors, torn or malformed response frames, timed-out
+    reads, and the server's [Internal] and [Overloaded] error replies —
+    with capped exponential backoff and seeded jitter.  [Bad_request],
+    [Parse] and [Timeout] replies are never retried: the request itself
+    is at fault.  Retrying is safe because every request type is
+    idempotent and each failed attempt abandons its socket — a retry
+    runs on a fresh connection and verifies the reply's id, so a late
+    or torn reply cannot be matched to it.
+
+    Each retry, timeout, reconnect and final give-up increments a
+    [client.*] counter in this process's {!Suu_obs.Registry}. *)
 
 type t
 
 exception Protocol_failure of string
-(** The server's bytes did not parse as a response frame, or the
-    connection dropped mid-response. *)
+(** The server's bytes did not parse as a response frame, the
+    connection dropped mid-response, or every retry was exhausted on
+    such a failure. *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** Defaults to [127.0.0.1].  Raises [Unix.Unix_error] on refusal. *)
+val connect :
+  ?host:string ->
+  ?retries:int ->
+  ?timeout_ms:int ->
+  ?backoff_ms:int ->
+  ?retry_seed:int ->
+  port:int ->
+  unit ->
+  t
+(** Defaults: host [127.0.0.1], [retries 0] (fail fast), no timeout,
+    [backoff_ms 25] (first-retry delay, doubled per retry, capped at
+    2 s), [retry_seed 0] (jitter generator seed).  The initial dial
+    itself observes [retries]: a refused connection is retried with the
+    same backoff.  Raises [Unix.Unix_error] on (final) refusal,
+    [Invalid_argument] on negative [retries]/[backoff_ms] or a
+    non-positive [timeout_ms]. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
 val call :
   t -> ?id:string -> ?deadline_ms:int -> Protocol.body -> Protocol.response
-(** Send one request, wait for its response.  Raises
-    {!Protocol_failure} on a broken stream and [Unix.Unix_error] on
-    transport errors; server-side failures come back as
-    [Protocol.Err]. *)
+(** Send one request, wait for its response, retrying per the
+    connection's policy.  When retries are enabled and no [id] is
+    given, one is attached automatically so replies can be verified.
+    Raises {!Protocol_failure} on a broken stream or exhausted retries
+    and [Unix.Unix_error] on transport errors; server-side failures
+    come back as [Protocol.Err]. *)
 
 (* Convenience wrappers over {!call}; each raises {!Protocol_failure}
    when the server replies with an error frame, carrying the rendered

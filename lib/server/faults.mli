@@ -1,0 +1,77 @@
+(** Deterministic fault injection for the serve path.
+
+    When a fault config is active the server perturbs the worker reply
+    path: replies can be dropped, delayed, replaced with a spurious
+    [Internal] error, or cut mid-frame (the connection is killed after a
+    partial response line), and request processing itself can be made to
+    crash with {!Injected_crash} before the handler runs.  Each fault
+    point draws from its own generator seeded from [seed], so the total
+    number of faults injected over a run is reproducible; every injected
+    fault increments an [obs] counter [faults.injected.<point>].
+
+    Configs come from a compact spec string — e.g.
+    ["drop=0.05,delay=0.1:25,error=0.01,kill=0.01,crash=0.02,seed=42"] —
+    passed via [suu serve --faults] or the [SUU_FAULTS] environment
+    variable.  With no config the server's fast path pays a single
+    option match per reply. *)
+
+exception Injected_crash
+(** Raised by {!maybe_crash} to simulate a handler crash; the server's
+    worker isolation must treat it like any escaping exception. *)
+
+type config = {
+  drop : float;  (** probability a reply is silently discarded *)
+  delay : float;  (** probability a reply is delayed by [delay_ms] *)
+  delay_ms : int;  (** length of an injected delay (default 10) *)
+  error : float;  (** probability a reply becomes an [Internal] error *)
+  kill : float;  (** probability the connection dies mid-frame *)
+  crash : float;  (** probability the worker crashes before handling *)
+  seed : int;  (** seed for the per-point generators (default 0) *)
+}
+
+val none : config
+(** All probabilities zero. *)
+
+val active : config -> bool
+(** [true] iff any probability is positive. *)
+
+val of_spec : string -> (config, string) result
+(** Parse a spec string: comma-separated [key=value] with keys [drop],
+    [delay] (value [P] or [P:MS]), [error], [kill], [crash] (all
+    probabilities in [0, 1]) and [seed] (integer).  Unset keys keep
+    their {!none} defaults; empty fields are ignored. *)
+
+val to_spec : config -> string
+(** Normalized round-trippable spec, for logs and bench artifacts. *)
+
+val env_var : string
+(** ["SUU_FAULTS"]. *)
+
+val of_env : unit -> (config, string) result option
+(** Parse {!env_var} when set and non-empty; [None] otherwise. *)
+
+type t
+(** An armed injector: a config plus its seeded per-point generators and
+    counters.  Safe to share across worker threads. *)
+
+val create : config -> t
+
+val config : t -> config
+
+val maybe_crash : t -> unit
+(** Crash-point decision: raises {!Injected_crash} with probability
+    [crash] (and counts it), returns otherwise. *)
+
+type outcome =
+  | Deliver  (** send the reply normally *)
+  | Drop  (** discard the reply; the client sees silence *)
+  | Error  (** replace the reply with an [Internal] error *)
+  | Kill  (** write a partial frame, then shut the connection down *)
+
+type fate = { delay_s : float option; outcome : outcome }
+
+val reply_fate : t -> fate
+(** Decide what happens to one reply.  The delay (if any) composes with
+    the outcome: a reply can be delayed and then dropped.  Each injected
+    disposition is counted even when a preceding one already fired, so
+    per-point totals depend only on the decision count. *)

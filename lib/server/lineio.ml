@@ -1,5 +1,7 @@
 exception Line_too_long
 
+exception Read_timeout
+
 let max_line = 8 * 1024 * 1024
 
 type reader = {
@@ -14,7 +16,24 @@ let strip_cr l =
   let k = String.length l in
   if k > 0 && l.[k - 1] = '\r' then String.sub l 0 (k - 1) else l
 
-let rec next_line rd =
+(* Block until [rfd] is readable or the absolute monotonic deadline
+   passes.  Raised BEFORE the read, so the [Unix_error -> eof] catch
+   around the read cannot swallow a timeout into a silent EOF. *)
+let wait_readable rfd deadline_ns =
+  let rec wait () =
+    let remaining =
+      Int64.to_float (Int64.sub deadline_ns (Suu_obs.Clock.now_ns ())) /. 1e9
+    in
+    if remaining <= 0.0 then raise Read_timeout
+    else
+      match Unix.select [ rfd ] [] [] remaining with
+      | [], _, _ -> raise Read_timeout
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+let rec next_line ?deadline_ns rd =
   match String.index_opt rd.pending '\n' with
   | Some i ->
       let line = String.sub rd.pending 0 i in
@@ -31,14 +50,17 @@ let rec next_line rd =
         end
       else if String.length rd.pending > max_line then raise Line_too_long
       else begin
+        (match deadline_ns with
+        | Some d -> wait_readable rd.rfd d
+        | None -> ());
         let chunk = Bytes.create 65536 in
         match Unix.read rd.rfd chunk 0 (Bytes.length chunk) with
         | 0 ->
             rd.eof <- true;
-            next_line rd
+            next_line ?deadline_ns rd
         | k ->
             rd.pending <- rd.pending ^ Bytes.sub_string chunk 0 k;
-            next_line rd
+            next_line ?deadline_ns rd
         | exception Unix.Unix_error _ ->
             (* Concurrent shutdown during drain, or a reset peer. *)
             rd.eof <- true;

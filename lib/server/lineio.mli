@@ -9,15 +9,22 @@
 exception Line_too_long
 (** A line exceeded the 8 MiB cap (larger than any legal frame line). *)
 
+exception Read_timeout
+(** The deadline passed with no complete line available (see
+    {!next_line}'s [deadline_ns]). *)
+
 type reader
 
 val reader : Unix.file_descr -> reader
 
-val next_line : reader -> string option
+val next_line : ?deadline_ns:int64 -> reader -> string option
 (** The next [\n]-terminated line, without the terminator (a trailing
     [\r] is stripped).  [None] at end of stream — including when a
-    concurrent [shutdown] aborts a blocked read.  Raises
-    {!Line_too_long}. *)
+    concurrent [shutdown] aborts a blocked read.  When [deadline_ns]
+    (an absolute {!Suu_obs.Clock.now_ns} instant) is given, each read
+    first waits for readability with [select] and raises
+    {!Read_timeout} once the deadline passes — the client's per-request
+    timeout.  Raises {!Line_too_long}. *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Write the whole string (looping over partial writes).  Raises

@@ -7,11 +7,14 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : int;
   sim_jobs : int option;
+  faults : Faults.config option;
+  clock_ns : unit -> int64;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 0; workers = 4; queue_capacity = 64;
-    default_deadline_ms = 30_000; sim_jobs = None }
+    default_deadline_ms = 30_000; sim_jobs = None; faults = None;
+    clock_ns = Suu_obs.Clock.now_ns }
 
 (* --- connection plumbing --- *)
 
@@ -29,8 +32,8 @@ let send conn resp =
 type job = {
   req : P.request;
   conn : conn;
-  arrival : float;
-  deadline : float;
+  arrival : float; (* wall clock, for the latency metric only *)
+  deadline : int64; (* absolute monotonic ns on [cfg.clock_ns] *)
   root : Suu_obs.Span.id;
       (* span id of the request's root; phase spans recorded from the
          reader and worker threads all parent to it *)
@@ -45,6 +48,7 @@ type t = {
   queue : job Bqueue.t;
   service : Service.t;
   metrics : Metrics.t;
+  faults : Faults.t option;
   started : float;
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
@@ -73,21 +77,54 @@ let finish_root job ~rtype ~code ~stop_ns =
       [ ("type", rtype); ("code", Option.value code ~default:"ok") ]
     ~name:"server.request" ~start_ns:job.start_ns ~stop_ns ()
 
+(* Reply delivery, possibly perturbed by fault injection.  The fast
+   path (no injector configured) is a single option match in front of
+   [send]; with an injector armed, a reply can be delayed, dropped,
+   replaced by a spurious [Internal] error, or cut mid-frame (a partial
+   response line followed by a socket shutdown — the torn-frame case
+   retrying clients must survive). *)
+let deliver t job resp =
+  match t.faults with
+  | None -> send job.conn resp
+  | Some f -> (
+      let fate = Faults.reply_fate f in
+      (match fate.Faults.delay_s with
+      | Some d -> Thread.delay d
+      | None -> ());
+      match fate.Faults.outcome with
+      | Faults.Deliver -> send job.conn resp
+      | Faults.Drop -> ()
+      | Faults.Error ->
+          send job.conn
+            (P.Err
+               { id = job.req.P.id; code = P.Internal;
+                 message = "injected fault" })
+      | Faults.Kill ->
+          let conn = job.conn in
+          Mutex.lock conn.wlock;
+          (try Lineio.write_all conn.fd "suu-response v1\nstatus ok\n"
+           with Unix.Unix_error _ -> ());
+          Mutex.unlock conn.wlock;
+          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ()))
+
 let process t job =
-  let now = Unix.gettimeofday () in
   let t_pop = Suu_obs.Clock.now_ns () in
   Suu_obs.Span.record ~parent:job.root ~name:"server.queue_wait"
     ~start_ns:job.enq_ns ~stop_ns:t_pop ();
   let id = job.req.P.id in
   let rtype = P.body_type job.req.P.body in
-  if now > job.deadline then begin
+  (* Queue expiry on the monotonic clock: wall time spent queued is
+     irrelevant (and steppable); only monotonic elapsed time counts. *)
+  if Int64.compare (t.cfg.clock_ns ()) job.deadline > 0 then begin
     observe t ~rtype ~code:(Some "timeout") ~arrival:job.arrival;
-    send job.conn
+    deliver t job
       (P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" });
     finish_root job ~rtype ~code:(Some "timeout")
       ~stop_ns:(Suu_obs.Clock.now_ns ())
   end
   else begin
+    (match t.faults with Some f -> Faults.maybe_crash f | None -> ());
     let result =
       Suu_obs.Span.with_ambient (Some job.root) (fun () ->
           Suu_obs.Span.with_span "server.execute" (fun () ->
@@ -104,19 +141,40 @@ let process t job =
     in
     observe t ~rtype ~code ~arrival:job.arrival;
     let t_w0 = Suu_obs.Clock.now_ns () in
-    send job.conn resp;
+    deliver t job resp;
     let t_done = Suu_obs.Clock.now_ns () in
     Suu_obs.Span.record ~parent:job.root ~name:"server.write" ~start_ns:t_w0
       ~stop_ns:t_done ();
     finish_root job ~rtype ~code ~stop_ns:t_done
   end
 
+let c_worker_restarts = lazy (Suu_obs.Registry.counter "server.worker.restarts")
+
+(* Crash isolation: an exception escaping [process] (a handler bug, or
+   an injected crash) must cost the client one request, not the server
+   one worker.  The thread answers with an [Internal] error, counts the
+   restart and keeps draining the queue — a pool-size-preserving
+   restart.  The known hazard: a crash between [send] and the handler's
+   return could leave the client a reply AND an error for one id;
+   clients match ids, so the stray frame is dropped on reconnect. *)
 let worker_loop t () =
   let rec loop () =
     match Bqueue.pop t.queue with
     | None -> () (* closed and drained: graceful exit *)
     | Some job ->
-        process t job;
+        (try process t job
+         with e ->
+           Suu_obs.Counter.incr (Lazy.force c_worker_restarts);
+           let rtype = P.body_type job.req.P.body in
+           Printf.eprintf "suu-serve: worker crashed on %s request (%s); restarting\n%!"
+             rtype (Printexc.to_string e);
+           observe t ~rtype ~code:(Some "internal") ~arrival:job.arrival;
+           send job.conn
+             (P.Err
+                { id = job.req.P.id; code = P.Internal;
+                  message = "worker crashed: " ^ Printexc.to_string e });
+           finish_root job ~rtype ~code:(Some "internal")
+             ~stop_ns:(Suu_obs.Clock.now_ns ()));
         loop ()
   in
   loop ()
@@ -156,7 +214,9 @@ let handle_conn t conn =
         in
         let job =
           { req; conn; arrival;
-            deadline = arrival +. (float_of_int ms /. 1000.0);
+            deadline =
+              Int64.add (t.cfg.clock_ns ())
+                (Int64.mul (Int64.of_int ms) 1_000_000L);
             root; start_ns; enq_ns = t_parsed }
         in
         if not (Bqueue.try_push t.queue job) then begin
@@ -227,6 +287,27 @@ let accept_loop t () =
 
 let start ?(config = default_config) () =
   if config.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  (* An explicit [faults] config wins; otherwise consult [SUU_FAULTS]
+     (so any deployment can be chaos-tested without a flag).  A
+     malformed env spec is a startup error, not a silently-faultless
+     server. *)
+  let faults =
+    let armed fc = if Faults.active fc then Some (Faults.create fc) else None in
+    match config.faults with
+    | Some fc -> armed fc
+    | None -> (
+        match Faults.of_env () with
+        | None -> None
+        | Some (Result.Ok fc) -> armed fc
+        | Some (Result.Error msg) ->
+            invalid_arg
+              (Printf.sprintf "Server.start: bad %s: %s" Faults.env_var msg))
+  in
+  (match faults with
+  | Some f ->
+      Printf.eprintf "suu-serve: fault injection ACTIVE (%s)\n%!"
+        (Faults.to_spec (Faults.config f))
+  | None -> ());
   (* A worker writing to a connection whose peer vanished must get
      EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -264,10 +345,11 @@ let start ?(config = default_config) () =
         ]
   in
   let service =
-    Service.create ?sim_jobs:config.sim_jobs ~extra_stats ~metrics ()
+    Service.create ?sim_jobs:config.sim_jobs ~extra_stats
+      ~clock_ns:config.clock_ns ~metrics ()
   in
   let t =
-    { cfg = config; lfd; bound_port; queue; service; metrics; started;
+    { cfg = config; lfd; bound_port; queue; service; metrics; faults; started;
       stopping = Atomic.make false; accept_thread = None;
       worker_threads = []; conns = Hashtbl.create 16;
       conns_lock = Mutex.create (); next_conn = 0;

@@ -12,7 +12,19 @@
     Every request carries an absolute deadline — its own [deadline-ms]
     or the server default — checked when the request is dequeued and
     cooperatively during execution, so expired work is answered with a
-    [timeout] error instead of holding a worker.
+    [timeout] error instead of holding a worker.  Deadlines live on the
+    monotonic clock ({!Suu_obs.Clock}), so a wall-clock step cannot
+    expire the whole queue or make a request immortal; wall time is
+    used only for the [stats] uptime and latency metrics.
+
+    Faults: a {!Faults} config (the [faults] field, or the [SUU_FAULTS]
+    environment variable when the field is [None]) perturbs worker
+    replies — drops, delays, spurious [Internal] errors, mid-frame
+    connection kills — and injects handler crashes.  A worker crash
+    (injected or real) is isolated: the client gets an [Internal]
+    error, [server.worker.restarts] is incremented, and the worker
+    keeps serving.  With no faults configured the reply path pays one
+    option match.
 
     A malformed frame gets a located [parse] error reply and the reader
     resynchronizes to the next [done]; the connection survives.
@@ -34,13 +46,21 @@ type config = {
   sim_jobs : int option;
       (** domain count for simulate fan-out (default: the
           {!Suu_sim.Parallel} default) *)
+  faults : Faults.config option;
+      (** fault-injection config.  [None] (the default) consults the
+          [SUU_FAULTS] environment variable; [Some Faults.none]
+          forces injection off regardless of the environment. *)
+  clock_ns : unit -> int64;
+      (** monotonic clock for deadline arithmetic (default
+          {!Suu_obs.Clock.now_ns}; injectable for tests) *)
 }
 
 val default_config : config
 
 val start : ?config:config -> unit -> t
 (** Bind, listen and spin up the pool.  Raises [Unix.Unix_error] when
-    the address is unavailable. *)
+    the address is unavailable and [Invalid_argument] when [SUU_FAULTS]
+    is set but malformed. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)

@@ -6,11 +6,6 @@ module Classify = Suu_dag.Classify
    a structured [timeout] reply in {!handle}. *)
 exception Expired
 
-let check ~deadline =
-  match deadline with
-  | Some d when Unix.gettimeofday () > d -> raise Expired
-  | _ -> ()
-
 (* One cached instance: the canonical-serialization digest keys it, and
    policies materialize lazily per wire name so their internal plan
    caches survive across requests. *)
@@ -28,15 +23,24 @@ type t = {
   sim_jobs : int option;
   extra_stats : (unit -> (string * string) list) option;
   metrics : Metrics.t;
+  clock_ns : unit -> int64;
 }
 
-let create ?(instance_cache_capacity = 64) ?sim_jobs ?extra_stats ~metrics
-    () =
+(* Deadlines are absolute monotonic instants (ns), never wall clock:
+   an NTP step or DST jump must not expire every queued request at once
+   (or make them immortal).  The clock is injectable for tests. *)
+let check t ~deadline =
+  match deadline with
+  | Some d when Int64.compare (t.clock_ns ()) d > 0 -> raise Expired
+  | _ -> ()
+
+let create ?(instance_cache_capacity = 64) ?sim_jobs ?extra_stats
+    ?(clock_ns = Suu_obs.Clock.now_ns) ~metrics () =
   if instance_cache_capacity < 1 then
     invalid_arg "Service.create: instance_cache_capacity must be >= 1";
   { lock = Mutex.create (); cache = Hashtbl.create 64;
     order = Queue.create (); capacity = instance_cache_capacity; sim_jobs;
-    extra_stats; metrics }
+    extra_stats; metrics; clock_ns }
 
 let entry_for t inst =
   let digest = Digest.string (Suu_core.Instance_io.to_string inst) in
@@ -149,11 +153,11 @@ let describe inst =
     ("shape", Classify.describe (shape inst));
     ("policies", String.concat " " (applicable_policies inst)) ]
 
-let lower_bound ~deadline inst =
+let lower_bound t ~deadline inst =
   let module LB = Suu_core.Lower_bound in
   let cp = LB.critical_path inst in
   let work = LB.work inst in
-  check ~deadline;
+  check t ~deadline;
   let lp = LB.lp1_half inst in
   [ ("lp1_half", f17 lp); ("critical_path", f17 cp); ("work", f17 work);
     ("combined", f17 (Float.max 1.0 (Float.max lp (Float.max cp work)))) ]
@@ -167,7 +171,7 @@ let plan t ~deadline inst name ~seed =
       let trace = Suu_sim.Trace.draw ~n trace_rng in
       let busy = Array.make m 0 in
       let on_step ~time ~assignment =
-        if time land 4095 = 0 then check ~deadline;
+        if time land 4095 = 0 then check t ~deadline;
         Array.iteri
           (fun i j -> if j >= 0 then busy.(i) <- busy.(i) + 1)
           assignment
@@ -200,7 +204,7 @@ let simulate t ~deadline inst name ~reps ~seed =
       let results = Array.make reps 0.0 in
       let lo = ref 0 in
       while !lo < reps do
-        check ~deadline;
+        check t ~deadline;
         let base = !lo in
         let hi = min reps (base + sim_batch) in
         (* Replication [k] draws only from [rngs.(k)] and writes only
@@ -245,11 +249,11 @@ let stats_fields t =
 
 let handle t ?deadline body =
   try
-    check ~deadline;
+    check t ~deadline;
     match body with
     | P.Stats -> Result.Ok (stats_fields t)
     | P.Describe inst -> Result.Ok (describe inst)
-    | P.Lower_bound inst -> Result.Ok (lower_bound ~deadline inst)
+    | P.Lower_bound inst -> Result.Ok (lower_bound t ~deadline inst)
     | P.Plan { inst; policy; seed } -> plan t ~deadline inst policy ~seed
     | P.Simulate { inst; policy; reps; seed } ->
         simulate t ~deadline inst policy ~reps ~seed

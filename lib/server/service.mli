@@ -14,6 +14,10 @@
     [simulate], and every 4096 engine steps of [plan], so an expired
     request returns a structured [timeout] error within a bounded
     amount of extra work rather than occupying a worker forever.
+    Deadlines are absolute {e monotonic} instants ({!Suu_obs.Clock},
+    nanoseconds), not wall-clock times: a wall-clock step (NTP, DST)
+    must neither expire every queued request at once nor make one
+    immortal.
 
     Determinism over the wire: for a fixed request body, the ok
     response is byte-identical across calls, worker interleavings and
@@ -28,6 +32,7 @@ val create :
   ?instance_cache_capacity:int ->
   ?sim_jobs:int ->
   ?extra_stats:(unit -> (string * string) list) ->
+  ?clock_ns:(unit -> int64) ->
   metrics:Metrics.t ->
   unit ->
   t
@@ -36,8 +41,10 @@ val create :
     domain count used for [simulate] fan-out (default: the
     {!Suu_sim.Parallel} default, i.e. [SUU_JOBS] or the core count).
     [extra_stats] is appended to [stats] replies (the server adds queue
-    depth and worker count).  [metrics] is rendered into [stats]
-    replies. *)
+    depth and worker count).  [clock_ns] is the monotonic clock used
+    for deadline checks (default {!Suu_obs.Clock.now_ns}; injectable so
+    tests can freeze or advance it).  [metrics] is rendered into
+    [stats] replies. *)
 
 val policy_names : string list
 (** Wire names accepted in [policy] fields: [auto] plus every concrete
@@ -45,11 +52,12 @@ val policy_names : string list
 
 val handle :
   t ->
-  ?deadline:float ->
+  ?deadline:int64 ->
   Protocol.body ->
   ((string * string) list, Protocol.error_code * string) result
-(** Execute one request body.  [deadline] is an absolute
-    [Unix.gettimeofday] instant.  [Ok fields] become the ok-response
+(** Execute one request body.  [deadline] is an absolute monotonic
+    instant in nanoseconds on the service's [clock_ns] (by default
+    {!Suu_obs.Clock.now_ns}).  [Ok fields] become the ok-response
     fields; [Error (code, message)] becomes a structured error reply
     ([Timeout] when the deadline expired, [Bad_request] for unknown or
     inapplicable policies and model violations).  Exceptions do not

@@ -73,8 +73,24 @@ let run_chunks ~jobs ~chunk ~n ~local body =
         Suu_obs.Span.with_ambient parent run
       in
       let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join spawned
+      (* Every spawned domain must be joined on every exit path.  If the
+         caller's inline [worker ()] raises and we unwind without
+         joining, the spawned domains keep running against buffers the
+         caller believes it owns again — and their slots leak unjoined.
+         The [finally] block therefore joins unconditionally, swallowing
+         nothing: the first exception a join surfaces is kept and
+         rethrown once the inline worker's own outcome is known (the
+         inline exception, being first, wins). *)
+      let join_failure = ref None in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun d ->
+              try Domain.join d
+              with e -> if !join_failure = None then join_failure := Some e)
+            spawned)
+        worker;
+      match !join_failure with Some e -> raise e | None -> ()
     end
   end
 

@@ -29,7 +29,9 @@ val parallel_for : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f 0 .. f (n - 1)] across [jobs] domains in
     chunks of [chunk] (default: a few chunks per worker).  [f] must be
     safe to run concurrently on distinct indices.  Exceptions raised by
-    a worker are re-raised at the join. *)
+    a worker are re-raised at the join; whichever worker raises, every
+    spawned domain is joined before the exception escapes, so no domain
+    outlives the call or leaks unjoined. *)
 
 val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f a] is [Array.map f a] across domains.  [f a.(0)]

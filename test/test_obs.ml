@@ -65,12 +65,38 @@ let test_quantile_brackets () =
         Alcotest.failf "p%.0f quantile %g escaped the (0.01, 0.1] bucket"
           (100.0 *. p) q)
     [ 0.1; 0.5; 0.9; 0.99 ];
-  (* overflow values report the last finite bound, not infinity *)
+  (* Overflow ranks report the observed maximum, not the last finite
+     bound — a 99 s stall must not masquerade as the 1 s bucket cap. *)
   let h2 = H.create ~bounds "over" in
   H.record h2 99.0;
   let s2 = H.snapshot h2 in
-  Alcotest.(check (float 1e-9)) "overflow quantile = last bound" 1.0
-    (H.quantile h2 s2 0.5)
+  Alcotest.(check (float 1e-9)) "overflow quantile = observed max" 99.0
+    (H.quantile h2 s2 0.5);
+  Alcotest.(check (float 1e-9)) "snapshot carries the max" 99.0 s2.H.max;
+  (* A mix of in-range and overflow values: interior quantiles stay in
+     their buckets, the tail reports the true max, monotone throughout. *)
+  let h3 = H.create ~bounds "mixed" in
+  for _ = 1 to 90 do
+    H.record h3 0.05
+  done;
+  for _ = 1 to 10 do
+    H.record h3 250.0
+  done;
+  let s3 = H.snapshot h3 in
+  Alcotest.(check bool) "p50 stays in its bucket" true
+    (H.quantile h3 s3 0.5 <= 0.1);
+  Alcotest.(check (float 1e-9)) "p99 reports the observed max" 250.0
+    (H.quantile h3 s3 0.99);
+  (* Negative and NaN records are clamped to zero everywhere: buckets,
+     sum and max must describe the same (clamped) value. *)
+  let h4 = H.create ~bounds "neg" in
+  H.record h4 (-3.0);
+  H.record h4 Float.nan;
+  let s4 = H.snapshot h4 in
+  Alcotest.(check int) "clamped records counted" 2 s4.H.count;
+  Alcotest.(check int) "clamped records land in bucket 0" 2 s4.H.buckets.(0);
+  Alcotest.(check (float 0.0)) "clamped sum" 0.0 s4.H.sum;
+  Alcotest.(check (float 0.0)) "clamped max" 0.0 s4.H.max
 
 (* --- registry consistency under concurrent recording --- *)
 

@@ -441,6 +441,162 @@ let test_e2e_deterministic_across_pools () =
     (bytes_with ~workers:1 ~sim_jobs:(Some 1))
     (bytes_with ~workers:4 ~sim_jobs:(Some 4))
 
+(* --- faults --- *)
+
+let test_faults_spec () =
+  let module F = Suu_server.Faults in
+  (match
+     F.of_spec "drop=0.05,delay=0.1:25,error=0.01,kill=0.02,crash=0.03,seed=42"
+   with
+  | Result.Ok c ->
+      Alcotest.(check (float 1e-12)) "drop" 0.05 c.F.drop;
+      Alcotest.(check (float 1e-12)) "delay" 0.1 c.F.delay;
+      Alcotest.(check int) "delay_ms" 25 c.F.delay_ms;
+      Alcotest.(check int) "seed" 42 c.F.seed;
+      Alcotest.(check bool) "active" true (F.active c);
+      (match F.of_spec (F.to_spec c) with
+      | Result.Ok c2 -> Alcotest.(check bool) "spec roundtrips" true (c = c2)
+      | Result.Error m -> Alcotest.fail m)
+  | Result.Error m -> Alcotest.fail m);
+  (match F.of_spec "" with
+  | Result.Ok c ->
+      Alcotest.(check bool) "empty spec is inactive" false (F.active c)
+  | Result.Error m -> Alcotest.fail m);
+  (match F.of_spec "drop=2" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "probability above 1 must be rejected");
+  (match F.of_spec "bogus=1" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "unknown key must be rejected");
+  (* Two injectors armed from the same config make identical decisions:
+     injected totals are a function of (config, decision count) alone. *)
+  match F.of_spec "drop=0.3,delay=0.2:5,error=0.1,kill=0.1,seed=7" with
+  | Result.Error m -> Alcotest.fail m
+  | Result.Ok c ->
+      let t1 = F.create c and t2 = F.create c in
+      let f1 = List.init 200 (fun _ -> F.reply_fate t1) in
+      let f2 = List.init 200 (fun _ -> F.reply_fate t2) in
+      Alcotest.(check bool) "fates deterministic per seed" true (f1 = f2)
+
+(* --- monotonic deadlines --- *)
+
+let test_service_deadline_monotonic () =
+  (* Deadline expiry depends only on the injected monotonic clock. *)
+  let now = Atomic.make 0L in
+  let svc =
+    Suu_server.Service.create
+      ~clock_ns:(fun () -> Atomic.get now)
+      ~metrics:(Metrics.create ()) ()
+  in
+  let inst = W.independent uniform ~n:4 ~m:2 ~seed:18 in
+  (match Suu_server.Service.handle svc ~deadline:10_000_000L (P.Describe inst)
+   with
+  | Result.Ok _ -> ()
+  | Result.Error (code, msg) ->
+      Alcotest.failf "unexpired deadline failed: [%s] %s"
+        (P.error_code_to_string code) msg);
+  Atomic.set now 10_000_001L;
+  match Suu_server.Service.handle svc ~deadline:10_000_000L (P.Describe inst)
+  with
+  | Result.Error (P.Timeout, _) -> ()
+  | _ -> Alcotest.fail "expired monotonic deadline must report timeout"
+
+let test_e2e_deadline_ignores_wall_clock () =
+  (* Regression: queue-expiry used to compare [Unix.gettimeofday]
+     against a wall-clock deadline, so real time spent queued (or an
+     NTP step while queued) expired requests that had consumed none of
+     their monotonic budget.  With the server's clock frozen, a request
+     with a 50 ms deadline must survive sitting behind a slow request
+     for far longer than 50 ms of wall time. *)
+  let config =
+    { Server.default_config with
+      workers = 1; sim_jobs = Some 1; clock_ns = (fun () -> 0L) }
+  in
+  let slow_inst = W.independent W.Near_one ~n:32 ~m:4 ~seed:15 in
+  let quick_inst = W.independent uniform ~n:4 ~m:2 ~seed:16 in
+  with_server ~config (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          let send id deadline_ms body =
+            let s = P.request_to_string { P.id = Some id; deadline_ms; body } in
+            ignore (Unix.write_substring fd s 0 (String.length s))
+          in
+          send "slow" None
+            (P.Simulate
+               { inst = slow_inst; policy = "greedy"; reps = 1500; seed = 1 });
+          send "quick" (Some 50) (P.Describe quick_inst);
+          let rd = Suu_server.Lineio.reader fd in
+          let next_line () = Suu_server.Lineio.next_line rd in
+          let rec read_all acc n =
+            if n = 0 then List.rev acc
+            else
+              match P.read_response ~next_line with
+              | Some r -> read_all (r :: acc) (n - 1)
+              | None -> Alcotest.fail "stream ended early"
+          in
+          match read_all [] 2 with
+          | [ P.Ok { id = Some "slow"; _ }; P.Ok { id = Some "quick"; _ } ] ->
+              ()
+          | [ _; P.Err { id = Some "quick"; code; _ } ] ->
+              Alcotest.failf
+                "queued request expired by wall clock: [%s]"
+                (P.error_code_to_string code)
+          | _ -> Alcotest.fail "unexpected responses"))
+
+let test_e2e_faults_retries_converge () =
+  (* Against a server injecting drops, delays, spurious errors, torn
+     frames and worker crashes, a retrying client must complete every
+     request — and the injection/retry counters must show the run was
+     actually chaotic. *)
+  let faults =
+    match
+      Suu_server.Faults.of_spec
+        "drop=0.2,delay=0.2:5,error=0.1,kill=0.1,crash=0.1,seed=99"
+    with
+    | Result.Ok c -> c
+    | Result.Error m -> Alcotest.fail m
+  in
+  let config =
+    { Server.default_config with
+      workers = 2; sim_jobs = Some 1; faults = Some faults }
+  in
+  let counter n = Suu_obs.Counter.get (Suu_obs.Registry.counter n) in
+  let injected () =
+    List.fold_left
+      (fun a n -> a + counter ("faults.injected." ^ n))
+      0
+      [ "drop"; "delay"; "error"; "kill"; "crash" ]
+  in
+  let inj0 = injected () and retr0 = counter "client.retries" in
+  let inst = W.independent uniform ~n:6 ~m:2 ~seed:19 in
+  with_server ~config (fun server ->
+      let c =
+        Client.connect ~port:(Server.port server) ~retries:15 ~timeout_ms:300
+          ~backoff_ms:2 ~retry_seed:5 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          for i = 1 to 30 do
+            let body =
+              if i mod 3 = 0 then P.Plan { inst; policy = "greedy"; seed = i }
+              else P.Describe inst
+            in
+            match Client.call c body with
+            | P.Ok _ -> ()
+            | P.Err { code; message; _ } ->
+                Alcotest.failf "request %d failed despite retries: [%s] %s" i
+                  (P.error_code_to_string code)
+                  message
+          done));
+  Alcotest.(check bool) "faults were injected" true (injected () > inj0);
+  Alcotest.(check bool) "client retried" true (counter "client.retries" > retr0)
+
 let test_e2e_graceful_shutdown_drains () =
   (* Stop must let an in-flight request finish and its reply reach the
      client before the connection is torn down. *)
@@ -499,6 +655,20 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "render" `Quick test_metrics_render ] );
+      ( "faults",
+        [
+          Alcotest.test_case "spec parse/roundtrip/determinism" `Quick
+            test_faults_spec;
+          Alcotest.test_case "retrying client converges" `Quick
+            test_e2e_faults_retries_converge;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "service uses the injected monotonic clock"
+            `Quick test_service_deadline_monotonic;
+          Alcotest.test_case "queued request ignores wall clock" `Quick
+            test_e2e_deadline_ignores_wall_clock;
+        ] );
       ( "e2e",
         [
           Alcotest.test_case "all request types" `Quick

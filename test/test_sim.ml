@@ -438,6 +438,40 @@ let prop_parallel_bit_identical =
       in
       seq = shared2 && seq = shared5 && seq = factory3)
 
+(* Regression: a raising body must re-raise AND join every spawned
+   domain first.  The old code joined only after the caller's inline
+   worker returned normally, so an exception unwound past live domains —
+   they kept running (and mutating caller-owned buffers) after the call
+   "failed", and were never joined. *)
+let test_parallel_raise_joins_all () =
+  let n = 8 in
+  let completed = Atomic.make 0 in
+  let raised =
+    try
+      Suu_sim.Parallel.parallel_for ~jobs:4 ~chunk:1 ~n (fun i ->
+          if i = 0 then failwith "boom"
+          else begin
+            (* Slow enough that unjoined domains would still be running
+               when the exception escapes. *)
+            Thread.delay 0.02;
+            Atomic.incr completed
+          end);
+      false
+    with Failure msg ->
+      Alcotest.(check string) "body exception surfaces" "boom" msg;
+      true
+  in
+  Alcotest.(check bool) "exception propagated" true raised;
+  (* All spawned domains were joined before the raise escaped, and one
+     worker's failure does not cancel the others' claimed chunks: every
+     non-raising item has completed by the time the caller sees the
+     exception — none completes later. *)
+  Alcotest.(check int) "all other items done at the catch" (n - 1)
+    (Atomic.get completed);
+  Thread.delay 0.05;
+  Alcotest.(check int) "no stray domain runs on" (n - 1)
+    (Atomic.get completed)
+
 (* --- runner --- *)
 
 let test_runner_deterministic () =
@@ -534,6 +568,8 @@ let () =
             test_parallel_matches_sequential;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
           Alcotest.test_case "lp policy" `Quick test_parallel_real_policy;
+          Alcotest.test_case "raise joins all domains" `Quick
+            test_parallel_raise_joins_all;
           QCheck_alcotest.to_alcotest prop_parallel_bit_identical;
         ] );
       ( "runner",
