@@ -124,6 +124,37 @@ let regression current_path baseline_path =
       | Some _ -> failf "chaos run saw no client retries (faults inert?)"
       | None -> failf "client_retries missing from current results");
       check "chaos throughput" ~better:`Higher cur base [ "throughput_rps" ]
+  | "replay" ->
+      (* The store's value is correctness-gated, not tolerance-gated:
+         memoized, warm and kill-resumed sweeps must be byte-identical
+         to the direct computation, the warm pass must actually be
+         served from the store, and recovery must have truncated the
+         injected torn tail. *)
+      let check_true name path =
+        match J.to_bool (J.path path cur) with
+        | Some true -> okf "replay %s" name
+        | Some false -> failf "replay %s is false" name
+        | None -> failf "replay %s missing from current results" name
+      in
+      check_true "outputs identical (direct=cold=warm)" [ "identical" ];
+      check_true "kill-resume output identical" [ "resumed_identical" ];
+      (match get_num cur [ "warm_served" ] with
+      | Some s when s > 0.0 -> okf "replay warm pass served %.0f reps" s
+      | Some _ -> failf "replay warm pass served nothing from the store"
+      | None -> failf "warm_served missing from current results");
+      (match get_num cur [ "warm_computed" ] with
+      | Some 0.0 -> okf "replay warm pass recomputed nothing"
+      | Some c -> failf "replay warm pass recomputed %.0f reps" c
+      | None -> failf "warm_computed missing from current results");
+      (match get_num cur [ "torn_tail_truncated" ] with
+      | Some t when t > 0.0 -> okf "replay recovery truncated the torn tail"
+      | Some _ -> failf "replay recovery never truncated the torn tail"
+      | None -> failf "torn_tail_truncated missing from current results");
+      (match get_num cur [ "store"; "records" ] with
+      | Some r when r > 0.0 -> okf "replay store committed %.0f records" r
+      | Some _ -> failf "replay store committed no records"
+      | None -> failf "store.records missing from current results");
+      check "replay cold sweep time" ~better:`Lower cur base [ "cold_sec" ]
   | e -> failwith ("unknown experiment kind " ^ e))
 
 (* --- trace-coverage mode --- *)

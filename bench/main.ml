@@ -29,8 +29,32 @@ let section title =
 
 let note fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* Durable memoization: with SUU_STORE set to a directory, every ratio
+   sweep routes through {!Suu_store.Memo} — committed replication
+   batches are served from the store and only missing ones are
+   computed (and committed), so re-running the harness after a crash
+   (or with more experiments) is incremental.  Results are bit-identical
+   either way: replication [k]'s seeding depends only on [(seed, k)].
+   The perf experiment keeps calling [Runner.makespans] directly — its
+   point is to time the computation, not to skip it. *)
+let store =
+  lazy
+    (match Sys.getenv_opt "SUU_STORE" with
+    | Some dir when dir <> "" ->
+        Some (Suu_store.Result_store.open_store dir)
+    | _ -> None)
+
+let makespans ?cap ?jobs inst policy ~seed ~reps =
+  match Lazy.force store with
+  | None -> Runner.makespans ?cap ?jobs inst policy ~seed ~reps
+  | Some st ->
+      Suu_store.Memo.makespans ~store:st ?cap ?jobs inst policy ~seed ~reps
+
 let mean_ratio inst policy ~bound ~seed ~reps =
-  Runner.ratio_to_bound inst policy ~bound ~seed ~reps
+  let xs = makespans inst policy ~seed ~reps in
+  Array.fold_left ( +. ) 0.0 xs
+  /. float_of_int reps
+  /. Float.max bound 1e-9
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Table 1, row "Independent":
@@ -1334,12 +1358,188 @@ let chaos_bench () =
          requests)
 
 (* ------------------------------------------------------------------ *)
+(* replay — the incremental-sweep experiment: a small Table-1-style
+   ratio sweep is run four ways and the outputs compared byte-for-byte:
+
+     direct   no store at all (plain Runner.makespans);
+     cold     fresh store A — computes everything, commits batches;
+     warm     store A again — serves everything from committed batches;
+     resumed  fresh store B first runs a partial sweep (half the cells,
+              then half the replications of the next cell), then gets a
+              torn record appended to its log — the on-disk state a
+              [kill -9] mid-append leaves — and the full sweep re-runs
+              over it.
+
+   The claim gated in CI: all four outputs are identical (memoized and
+   resumed sweeps are certified equal to the direct computation), the
+   warm pass is served from the store, and recovery truncated the torn
+   tail.  Writes BENCH_replay.json. *)
+
+let replay_bench () =
+  section "replay: store-memoized sweep - cold vs warm vs kill-resume";
+  let module RS = Suu_store.Result_store in
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let sizes = if tiny then [ 8; 12 ] else [ 16; 32; 64 ] in
+  let reps = if tiny then 10 else 40 in
+  let m = 4 and seed = 515 in
+  let hazard = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let cells =
+    List.concat_map
+      (fun n ->
+        let inst = W.independent hazard ~n ~m ~seed:(seed + n) in
+        List.map
+          (fun (label, policy) -> (n, label, inst, policy))
+          [ ("suu-i-sem", Suu_core.Suu_i_sem.policy inst);
+            ("greedy", Suu_core.Baselines.greedy_completion inst);
+            ("round-robin", Suu_core.Baselines.round_robin inst) ])
+      sizes
+  in
+  (* One line per cell with round-trip floats: byte equality of this
+     string is bit equality of every replication summary. *)
+  let run_cells store cs ~reps =
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (n, label, inst, policy) ->
+        let xs =
+          match store with
+          | None -> Runner.makespans inst policy ~seed ~reps
+          | Some st ->
+              Suu_store.Memo.makespans ~store:st ~policy_name:label inst
+                policy ~seed ~reps
+        in
+        let s = Summary.of_array xs in
+        Buffer.add_string buf
+          (Printf.sprintf "%d %s %.17g %.17g %.17g %.17g\n" n label
+             s.Summary.mean s.Summary.stddev s.Summary.min s.Summary.max))
+      cs;
+    Buffer.contents buf
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun e -> rm_rf (Filename.concat path e))
+          (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let dir_a = "_bench_replay_store_a" and dir_b = "_bench_replay_store_b" in
+  rm_rf dir_a;
+  rm_rf dir_b;
+  let counter name = Suu_obs.Registry.counter ("store.memo." ^ name) in
+  let sample () =
+    (Suu_obs.Counter.get (counter "served"),
+     Suu_obs.Counter.get (counter "computed"))
+  in
+  (* direct: the reference output, no store anywhere. *)
+  let direct = run_cells None cells ~reps in
+  (* cold: fresh store, everything computed and committed. *)
+  let store_a = RS.open_store dir_a in
+  let t0 = Unix.gettimeofday () in
+  let cold = run_cells (Some store_a) cells ~reps in
+  let cold_sec = Unix.gettimeofday () -. t0 in
+  RS.close store_a;
+  (* warm: same store, everything served. *)
+  let store_a = RS.open_store dir_a in
+  let served0, computed0 = sample () in
+  let t0 = Unix.gettimeofday () in
+  let warm = run_cells (Some store_a) cells ~reps in
+  let warm_sec = Unix.gettimeofday () -. t0 in
+  let served1, computed1 = sample () in
+  let warm_served = served1 - served0
+  and warm_computed = computed1 - computed0 in
+  let stats_a = RS.stats store_a in
+  RS.close store_a;
+  (* resumed: emulate a sweep killed mid-run.  Pass 1 completes half
+     the cells, then commits only half the replications of the next
+     cell; then a torn frame is appended to the log — exactly what a
+     kill -9 between [write] and [fsync] can leave — and pass 2 runs
+     the full sweep over the recovered store. *)
+  let store_b = RS.open_store dir_b in
+  let half = List.length cells / 2 in
+  let partial = List.filteri (fun i _ -> i < half) cells in
+  ignore (run_cells (Some store_b) partial ~reps);
+  (match List.nth_opt cells half with
+  | Some cell -> ignore (run_cells (Some store_b) [ cell ] ~reps:(reps / 2))
+  | None -> ());
+  RS.close store_b;
+  let log_b = Filename.concat dir_b "results.log" in
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 log_b
+  in
+  output_string oc "\x40\x00\x00\x00\xde\xad\xbe\xef tor";
+  close_out oc;
+  let truncated0 =
+    Suu_obs.Counter.get (Suu_obs.Registry.counter "store.truncated")
+  in
+  let store_b = RS.open_store dir_b in
+  let truncated1 =
+    Suu_obs.Counter.get (Suu_obs.Registry.counter "store.truncated")
+  in
+  let resumed = run_cells (Some store_b) cells ~reps in
+  RS.close store_b;
+  let identical = String.equal direct cold && String.equal cold warm in
+  let resumed_identical = String.equal direct resumed in
+  let truncated = truncated1 - truncated0 in
+  let total_reps = List.length cells * reps in
+  note "cells=%d reps/cell=%d (%d replications per full sweep)"
+    (List.length cells) reps total_reps;
+  note "cold %.4fs, warm %.4fs (speedup %.1fx)" cold_sec warm_sec
+    (cold_sec /. Float.max warm_sec 1e-9);
+  note "warm pass: served=%d computed=%d" warm_served warm_computed;
+  note "outputs identical (direct=cold=warm): %b" identical;
+  note "kill-resume output identical: %b (recovery truncated %d torn tail)"
+    resumed_identical truncated;
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"experiment\": \"replay\",\n";
+  bpf "  \"scale\": \"%s\",\n" (if tiny then "tiny" else "full");
+  bpf "  \"config\": {\"cells\": %d, \"reps\": %d, \"machines\": %d, \
+       \"seed\": %d},\n"
+    (List.length cells) reps m seed;
+  bpf "  \"cold_sec\": %.6g,\n" cold_sec;
+  bpf "  \"warm_sec\": %.6g,\n" warm_sec;
+  bpf "  \"speedup\": %.6g,\n" (cold_sec /. Float.max warm_sec 1e-9);
+  bpf "  \"identical\": %b,\n" identical;
+  bpf "  \"resumed_identical\": %b,\n" resumed_identical;
+  bpf "  \"torn_tail_truncated\": %d,\n" truncated;
+  bpf "  \"warm_served\": %d,\n" warm_served;
+  bpf "  \"warm_computed\": %d,\n" warm_computed;
+  bpf "  \"store\": {\"keys\": %d, \"records\": %d, \"reps\": %d, \
+       \"file_bytes\": %d}\n"
+    stats_a.RS.keys stats_a.RS.records stats_a.RS.reps stats_a.RS.file_bytes;
+  bpf "}\n";
+  let oc = open_out "BENCH_replay.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  note "\nwrote BENCH_replay.json";
+  rm_rf dir_a;
+  rm_rf dir_b;
+  if not identical then
+    failwith "replay bench: store-served sweep diverged from direct run";
+  if not resumed_identical then
+    failwith "replay bench: kill-resume sweep diverged from direct run";
+  if warm_served <> total_reps || warm_computed <> 0 then
+    failwith
+      (Printf.sprintf
+         "replay bench: warm pass not fully served (served=%d computed=%d \
+          of %d)"
+         warm_served warm_computed total_reps)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e1m", e1m); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2); ("a3", a3);
     ("perf", perf); ("serve", serve_bench); ("chaos", chaos_bench);
+    ("replay", replay_bench);
   ]
 
 let () =

@@ -273,7 +273,7 @@ let gantt_cmd =
 
 (* --- serve --- *)
 
-let serve host port workers queue deadline_ms sim_jobs faults =
+let serve host port workers queue deadline_ms sim_jobs faults journal =
   Suu_server.Server.run
     ~config:
       {
@@ -285,6 +285,7 @@ let serve host port workers queue deadline_ms sim_jobs faults =
         default_deadline_ms = deadline_ms;
         sim_jobs;
         faults;
+        journal;
       }
     ()
 
@@ -345,11 +346,133 @@ let serve_cmd =
              drop=0.05,delay=0.1:25,error=0.01,kill=0.01,crash=0.02,seed=42. \
              Overrides the SUU_FAULTS environment variable.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead request journal: every admitted request is \
+             durably journaled before execution, responses after; on \
+             restart the journal warm-starts the caches and $(b,suu \
+             replay) can re-execute it.  Overrides the SUU_JOURNAL \
+             environment variable.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ host_arg $ port_arg ~default:7483 $ workers $ queue
-      $ deadline $ sim_jobs $ faults)
+      $ deadline $ sim_jobs $ faults $ journal)
+
+(* --- replay --- *)
+
+let replay path sim_jobs verbose =
+  let module R = Suu_server.Replay in
+  match R.file ?sim_jobs path with
+  | o ->
+      Printf.printf
+        "journal %s: %d entries — %d replayed, %d matched, %d mismatched, \
+         %d skipped\n"
+        path o.R.total o.R.replayed o.R.matched o.R.mismatched o.R.skipped;
+      if verbose || o.R.mismatched > 0 then
+        List.iter
+          (fun (m : R.mismatch) ->
+            Printf.printf
+              "\nmismatch at seq %d\n--- journaled ---\n%s--- replayed ---\n%s"
+              m.R.seq m.R.expected m.R.actual)
+          o.R.mismatches;
+      if o.R.mismatched = 0 then begin
+        Printf.printf "replay OK: %d/%d responses byte-identical\n" o.R.matched
+          o.R.replayed;
+        Ok ()
+      end
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "replay FAILED: %d of %d responses diverged"
+               o.R.mismatched o.R.replayed))
+  | exception (Failure msg | Sys_error msg) -> Error (`Msg msg)
+
+let replay_cmd =
+  let doc =
+    "Re-execute a suu-serve request journal and verify responses \
+     byte-for-byte."
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal written by serve --journal.")
+  in
+  let sim_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sim-jobs" ] ~docv:"D"
+          ~doc:"Domains for simulate re-execution (results are identical \
+                for every value).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:"Print every compared frame pair, not only mismatches.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(term_result (const replay $ path $ sim_jobs $ verbose))
+
+(* --- store --- *)
+
+let store_env_var = "SUU_STORE"
+
+let store_stats dir =
+  let dir =
+    match dir with
+    | Some d -> Ok d
+    | None -> (
+        match Sys.getenv_opt store_env_var with
+        | Some d when d <> "" -> Ok d
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf "no store directory: pass --dir or set %s"
+                   store_env_var)))
+  in
+  match dir with
+  | Error _ as e -> e
+  | Ok d -> (
+      match Suu_store.Result_store.open_store d with
+      | s ->
+          let st = Suu_store.Result_store.stats s in
+          Suu_store.Result_store.close s;
+          Printf.printf "dir %s\n" d;
+          Printf.printf "keys %d\n" st.Suu_store.Result_store.keys;
+          Printf.printf "records %d\n" st.Suu_store.Result_store.records;
+          Printf.printf "reps %d\n" st.Suu_store.Result_store.reps;
+          Printf.printf "file_bytes %d\n" st.Suu_store.Result_store.file_bytes;
+          Ok ()
+      | exception (Failure msg | Sys_error msg) -> Error (`Msg msg))
+
+let store_cmd =
+  let doc = "Inspect the durable result store." in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Store directory (default: the SUU_STORE environment \
+                variable).")
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print key/record/replication counts and the log size (runs \
+            torn-tail recovery first).")
+      Term.(term_result (const store_stats $ dir))
+  in
+  Cmd.group (Cmd.info "store" ~doc) [ stats_cmd ]
 
 (* --- client --- *)
 
@@ -489,5 +612,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; client_cmd; replay_cmd; store_cmd;
           ]))

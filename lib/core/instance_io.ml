@@ -90,11 +90,46 @@ let of_string text =
   if final <> "end" then failwith "Instance_io: missing trailing 'end'";
   Instance.make ~name ~dag:(Suu_dag.Dag.of_edges ~n edges) q
 
+(* Crash-safe save: write to a tempfile in the destination directory
+   (rename is atomic only within one filesystem), fsync, then rename
+   over the target and fsync the directory.  An interruption at any
+   point leaves either the previous file or the complete new one —
+   never a truncated hybrid — plus at worst an orphaned [.TARGET.tmp.PID]
+   to sweep up. *)
 let save_file path inst =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string inst))
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let write () =
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let s = to_string inst in
+        let n = String.length s in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write_substring fd s !off (n - !off)
+        done;
+        Unix.fsync fd)
+  in
+  (try
+     write ();
+     Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* Make the rename itself durable; filesystems that refuse directory
+     fsync just give a weaker guarantee. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      Unix.close dfd
+  | exception Unix.Unix_error _ -> ()
 
 let load_file path =
   let ic = open_in path in

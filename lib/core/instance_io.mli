@@ -25,4 +25,10 @@ val of_string : string -> Instance.t
     (via {!Instance.make} / {!Suu_dag.Dag.of_edges}). *)
 
 val save_file : string -> Instance.t -> unit
+(** Crash-safe: the serialization is written to a tempfile in the
+    destination directory, fsync'd, and renamed over [path] — a crash
+    mid-save leaves the previous contents (or no file), never a
+    truncated one.  Raises [Unix.Unix_error] or [Sys_error] on I/O
+    failure. *)
+
 val load_file : string -> Instance.t

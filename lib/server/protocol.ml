@@ -390,3 +390,30 @@ let skip_frame ~next_line =
     | Some l -> if String.trim l <> "done" then loop ()
   in
   loop ()
+
+(* --- whole-frame string parsing (journal recovery and replay) --- *)
+
+let string_lines s =
+  let lines = String.split_on_char '\n' s in
+  (* A frame ends with "done\n"; split_on_char leaves one trailing ""
+     for that final newline — drop it so it is not read as a line. *)
+  let lines =
+    match List.rev lines with "" :: tl -> List.rev tl | _ -> lines
+  in
+  let rem = ref lines in
+  fun () ->
+    match !rem with
+    | [] -> None
+    | l :: tl ->
+        rem := tl;
+        Some l
+
+let request_of_string s =
+  match read_request ~next_line:(string_lines s) with
+  | r -> r
+  | exception Parse_error _ -> None
+
+let response_of_string s =
+  match read_response ~next_line:(string_lines s) with
+  | r -> r
+  | exception Parse_error _ -> None

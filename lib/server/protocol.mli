@@ -99,3 +99,13 @@ val read_response : next_line:(unit -> string option) -> response option
 val skip_frame : next_line:(unit -> string option) -> unit
 (** Consume lines up to and including the next [done] (or end of
     stream) — resynchronization after a {!Parse_error}. *)
+
+val request_of_string : string -> request option
+(** Parse a whole request frame held in a string — journal recovery and
+    replay.  [None] on an empty or malformed frame (a journaled frame
+    that fails to parse indicates journal-format skew, not a client
+    error, so the {!Parse_error} location is not surfaced). *)
+
+val response_of_string : string -> response option
+(** Parse a whole response frame held in a string; same conventions as
+    {!request_of_string}. *)

@@ -1,0 +1,68 @@
+module P = Protocol
+module Journal = Suu_store.Journal
+
+type mismatch = { seq : int; expected : string; actual : string }
+
+type outcome = {
+  total : int;
+  replayed : int;
+  matched : int;
+  mismatched : int;
+  skipped : int;
+  mismatches : mismatch list;
+}
+
+(* Recorded outcomes that depend on load, wall time or fault injection
+   rather than on the request: not reproducible, so not comparable. *)
+let nondeterministic_response = function
+  | P.Err { code = P.Overloaded | P.Timeout | P.Internal; _ } -> true
+  | P.Err _ | P.Ok _ -> false
+
+let run ?sim_jobs entries =
+  let metrics = Metrics.create () in
+  let service = Service.create ?sim_jobs ~metrics () in
+  let total = ref 0 and matched = ref 0 and mismatched = ref 0 in
+  let skipped = ref 0 in
+  let mismatches = ref [] in
+  List.iter
+    (fun (e : Journal.entry) ->
+      incr total;
+      match (P.request_of_string e.Journal.request, e.Journal.response) with
+      | None, _ | _, None ->
+          (* Unparseable request (format skew) or no recorded response
+             (the process died with the request in flight). *)
+          incr skipped
+      | Some req, Some recorded -> (
+          match req.P.body with
+          | P.Stats -> incr skipped
+          | body -> (
+              match P.response_of_string recorded with
+              | Some r when nondeterministic_response r -> incr skipped
+              | recorded_parse ->
+                  (* [None] here means the recorded response bytes are
+                     not even a well-formed frame — that can never
+                     match a reconstruction, so it is a mismatch (e.g.
+                     a tampered journal), not a skip. *)
+                  ignore recorded_parse;
+                  let id = req.P.id in
+                  let resp =
+                    match Service.handle service body with
+                    | Result.Ok fields ->
+                        P.Ok { id; rtype = P.body_type body; fields }
+                    | Result.Error (code, message) ->
+                        P.Err { id; code; message }
+                  in
+                  let actual = P.response_to_string resp in
+                  if String.equal actual recorded then incr matched
+                  else begin
+                    incr mismatched;
+                    mismatches :=
+                      { seq = e.Journal.seq; expected = recorded; actual }
+                      :: !mismatches
+                  end)))
+    entries;
+  { total = !total; replayed = !matched + !mismatched; matched = !matched;
+    mismatched = !mismatched; skipped = !skipped;
+    mismatches = List.rev !mismatches }
+
+let file ?sim_jobs path = run ?sim_jobs (Journal.read path)

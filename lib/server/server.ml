@@ -1,4 +1,5 @@
 module P = Protocol
+module Journal = Suu_store.Journal
 
 type config = {
   host : string;
@@ -8,13 +9,27 @@ type config = {
   default_deadline_ms : int;
   sim_jobs : int option;
   faults : Faults.config option;
+  journal : string option;
   clock_ns : unit -> int64;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 0; workers = 4; queue_capacity = 64;
     default_deadline_ms = 30_000; sim_jobs = None; faults = None;
-    clock_ns = Suu_obs.Clock.now_ns }
+    journal = None; clock_ns = Suu_obs.Clock.now_ns }
+
+let journal_env_var = "SUU_JOURNAL"
+
+(* Like [SUU_FAULTS]: the config field wins; the environment arms any
+   deployment without a flag; empty means off. *)
+let journal_path config =
+  match config.journal with
+  | Some "" -> None
+  | Some _ as p -> p
+  | None -> (
+      match Sys.getenv_opt journal_env_var with
+      | Some "" | None -> None
+      | Some p -> Some p)
 
 (* --- connection plumbing --- *)
 
@@ -39,6 +54,7 @@ type job = {
          reader and worker threads all parent to it *)
   start_ns : int64; (* first line of the frame (monotonic) *)
   enq_ns : int64; (* when the job entered the queue *)
+  jseq : int; (* journal sequence number (0 when no journal is armed) *)
 }
 
 type t = {
@@ -49,6 +65,8 @@ type t = {
   service : Service.t;
   metrics : Metrics.t;
   faults : Faults.t option;
+  journal : Journal.t option;
+  jseq : int Atomic.t;
   started : float;
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
@@ -108,6 +126,20 @@ let deliver t job resp =
           (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
            with Unix.Unix_error _ -> ()))
 
+(* Journal the response before it goes on the wire: if the record is
+   durable, {!Replay} can later hold the server to it; if the process
+   dies in between, recovery sees a request without a response — the
+   honest statement of what is known. *)
+let journal_response t (job : job) resp =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      (* A response append that fails (disk full, volume gone) degrades
+         to a journal entry with no response — replay reports it as
+         skipped — rather than costing a worker. *)
+      try Journal.log_response j ~seq:job.jseq (P.response_to_string resp)
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
 let process t job =
   let t_pop = Suu_obs.Clock.now_ns () in
   Suu_obs.Span.record ~parent:job.root ~name:"server.queue_wait"
@@ -118,8 +150,11 @@ let process t job =
      irrelevant (and steppable); only monotonic elapsed time counts. *)
   if Int64.compare (t.cfg.clock_ns ()) job.deadline > 0 then begin
     observe t ~rtype ~code:(Some "timeout") ~arrival:job.arrival;
-    deliver t job
-      (P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" });
+    let resp =
+      P.Err { id; code = P.Timeout; message = "deadline exceeded in queue" }
+    in
+    journal_response t job resp;
+    deliver t job resp;
     finish_root job ~rtype ~code:(Some "timeout")
       ~stop_ns:(Suu_obs.Clock.now_ns ())
   end
@@ -140,6 +175,7 @@ let process t job =
           (Some (P.error_code_to_string ec), P.Err { id; code = ec; message })
     in
     observe t ~rtype ~code ~arrival:job.arrival;
+    journal_response t job resp;
     let t_w0 = Suu_obs.Clock.now_ns () in
     deliver t job resp;
     let t_done = Suu_obs.Clock.now_ns () in
@@ -169,10 +205,13 @@ let worker_loop t () =
            Printf.eprintf "suu-serve: worker crashed on %s request (%s); restarting\n%!"
              rtype (Printexc.to_string e);
            observe t ~rtype ~code:(Some "internal") ~arrival:job.arrival;
-           send job.conn
-             (P.Err
-                { id = job.req.P.id; code = P.Internal;
-                  message = "worker crashed: " ^ Printexc.to_string e });
+           let resp =
+             P.Err
+               { id = job.req.P.id; code = P.Internal;
+                 message = "worker crashed: " ^ Printexc.to_string e }
+           in
+           journal_response t job resp;
+           send job.conn resp;
            finish_root job ~rtype ~code:(Some "internal")
              ~stop_ns:(Suu_obs.Clock.now_ns ()));
         loop ()
@@ -212,13 +251,27 @@ let handle_conn t conn =
           | Some d -> d
           | None -> t.cfg.default_deadline_ms
         in
+        let jseq =
+          match t.journal with
+          | None -> 0
+          | Some _ -> Atomic.fetch_and_add t.jseq 1
+        in
         let job =
           { req; conn; arrival;
             deadline =
               Int64.add (t.cfg.clock_ns ())
                 (Int64.mul (Int64.of_int ms) 1_000_000L);
-            root; start_ns; enq_ns = t_parsed }
+            root; start_ns; enq_ns = t_parsed; jseq }
         in
+        (* Write-ahead: the request is durable before it is offered to
+           the queue, so an admitted request survives a [kill -9] even
+           if its execution never produced a response.  The frame is
+           re-serialized canonically — byte-exact for what replay
+           re-parses and re-sends. *)
+        (match t.journal with
+        | None -> ()
+        | Some j ->
+            Journal.log_request j ~seq:jseq (P.request_to_string req));
         if not (Bqueue.try_push t.queue job) then begin
           observe t
             ~rtype:(P.body_type req.P.body)
@@ -229,7 +282,9 @@ let handle_conn t conn =
               Printf.sprintf "queue full (capacity %d)"
                 (Bqueue.capacity t.queue)
           in
-          send conn (P.Err { id = req.P.id; code = P.Overloaded; message });
+          let resp = P.Err { id = req.P.id; code = P.Overloaded; message } in
+          journal_response t job resp;
+          send conn resp;
           finish_root job
             ~rtype:(P.body_type req.P.body)
             ~code:(Some "overloaded")
@@ -308,6 +363,17 @@ let start ?(config = default_config) () =
       Printf.eprintf "suu-serve: fault injection ACTIVE (%s)\n%!"
         (Faults.to_spec (Faults.config f))
   | None -> ());
+  (* Open (and recover) the journal before binding the socket: recovery
+     may truncate a torn tail, and a server that cannot journal must
+     fail to start rather than silently run without the write-ahead
+     guarantee. *)
+  let journal_info =
+    match journal_path config with
+    | None -> None
+    | Some path ->
+        let j, entries = Journal.open_journal path in
+        Some (j, entries)
+  in
   (* A worker writing to a connection whose peer vanished must get
      EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -317,6 +383,7 @@ let start ?(config = default_config) () =
   (try Unix.bind lfd addr
    with e ->
      Unix.close lfd;
+     (match journal_info with Some (j, _) -> Journal.close j | None -> ());
      raise e);
   Unix.listen lfd 128;
   let bound_port =
@@ -348,8 +415,33 @@ let start ?(config = default_config) () =
     Service.create ?sim_jobs:config.sim_jobs ~extra_stats
       ~clock_ns:config.clock_ns ~metrics ()
   in
+  (* Warm-start: replay the recovered journal's request bodies into the
+     caches (instances and policies only — nothing executes, so the
+     plan-cache statistics stay untouched; see {!Service.warm}). *)
+  (match journal_info with
+  | None -> ()
+  | Some (j, entries) ->
+      let loaded =
+        List.fold_left
+          (fun acc (e : Journal.entry) ->
+            match P.request_of_string e.Journal.request with
+            | Some req -> if Service.warm service req.P.body then acc + 1 else acc
+            | None -> acc)
+          0 entries
+      in
+      Printf.eprintf
+        "suu-serve: journal %s: recovered %d entries, warmed %d, next seq %d\n%!"
+        (Journal.path j) (List.length entries) loaded
+        (Journal.next_seq entries));
   let t =
-    { cfg = config; lfd; bound_port; queue; service; metrics; faults; started;
+    { cfg = config; lfd; bound_port; queue; service; metrics; faults;
+      journal = Option.map fst journal_info;
+      jseq =
+        Atomic.make
+          (match journal_info with
+          | Some (_, entries) -> Journal.next_seq entries
+          | None -> 0);
+      started;
       stopping = Atomic.make false; accept_thread = None;
       worker_threads = []; conns = Hashtbl.create 16;
       conns_lock = Mutex.create (); next_conn = 0;
@@ -385,7 +477,9 @@ let stop t =
     let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
     Mutex.unlock t.conns_lock;
     List.iter (fun (conn, _) -> shutdown_fd conn.fd) live;
-    List.iter (fun (_, th) -> Thread.join th) live
+    List.iter (fun (_, th) -> Thread.join th) live;
+    (* 4. Every admitted request has been answered and journaled. *)
+    match t.journal with Some j -> Journal.close j | None -> ()
   end
 
 let run ?config () =

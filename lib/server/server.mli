@@ -50,6 +50,16 @@ type config = {
       (** fault-injection config.  [None] (the default) consults the
           [SUU_FAULTS] environment variable; [Some Faults.none]
           forces injection off regardless of the environment. *)
+  journal : string option;
+      (** write-ahead request journal path.  [None] (the default)
+          consults the [SUU_JOURNAL] environment variable; [Some ""]
+          forces journaling off regardless of the environment.  When
+          armed: every parsed request frame is durably journaled {e
+          before} it is offered to the queue, every response is
+          journaled before it is written to the socket, and on startup
+          the recovered journal warm-starts the instance/policy caches
+          ({!Service.warm}).  Recovery truncates a torn tail left by a
+          [kill -9].  See {!Replay} for re-execution. *)
   clock_ns : unit -> int64;
       (** monotonic clock for deadline arithmetic (default
           {!Suu_obs.Clock.now_ns}; injectable for tests) *)

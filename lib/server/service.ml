@@ -247,6 +247,33 @@ let stats_fields t =
      show the classic summary by default and the firehose on demand. *)
   @ Suu_obs.Registry.render ()
 
+(* Warm-start from a recovered journal: re-populate the instance cache
+   and materialize the policies the journaled requests named, without
+   executing anything.  Building a policy does not touch its plan
+   cache — {!Suu_core.Plan_cache} counters fire only when [plan ()]
+   runs — so booting warm cannot inflate the hit/miss statistics a
+   client later reads from [stats].  [store.warm_start.loaded] counts
+   the bodies that contributed to the caches instead. *)
+let c_warm_loaded = lazy (Suu_obs.Registry.counter "store.warm_start.loaded")
+
+let warm t body =
+  let loaded =
+    match body with
+    | P.Stats -> false
+    | P.Describe inst | P.Lower_bound inst ->
+        ignore (entry_for t inst);
+        true
+    | P.Plan { inst; policy; _ } | P.Simulate { inst; policy; _ } -> (
+        match get_policy t inst policy with
+        | Result.Ok _ -> true
+        | Result.Error _ ->
+            (* Unknown/inapplicable policy: the instance itself is
+               still worth caching (entry_for ran inside get_policy). *)
+            true)
+  in
+  if loaded then Suu_obs.Counter.incr (Lazy.force c_warm_loaded);
+  loaded
+
 let handle t ?deadline body =
   try
     check t ~deadline;

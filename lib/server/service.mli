@@ -50,6 +50,17 @@ val policy_names : string list
 (** Wire names accepted in [policy] fields: [auto] plus every concrete
     policy in the repository. *)
 
+val warm : t -> Protocol.body -> bool
+(** Pre-populate the caches from one recovered request body without
+    executing it: the instance enters the digest-keyed cache and, for
+    [plan]/[simulate] bodies, the named policy is materialized against
+    the cached instance.  Returns [true] when the body contributed to a
+    cache ([false] only for [stats]).  Building a policy never consults
+    its plan cache, so warm-starting cannot double-count the
+    {!Suu_core.Plan_cache} hit/miss statistics — the
+    [store.warm_start.loaded] counter records warm-start work
+    instead. *)
+
 val handle :
   t ->
   ?deadline:int64 ->

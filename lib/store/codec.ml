@@ -1,0 +1,60 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 256
+
+let add_int buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_float buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let add_string buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_float_array buf a =
+  add_int buf (Array.length a);
+  Array.iter (add_float buf) a
+
+let contents = Buffer.contents
+
+type decoder = { data : string; mutable pos : int }
+
+let decoder data = { data; pos = 0 }
+
+let need d n what =
+  if n < 0 || d.pos > String.length d.data - n then
+    corrupt "truncated payload: needed %d bytes for %s at offset %d" n what
+      d.pos
+
+let int64 d what =
+  need d 8 what;
+  let v = String.get_int64_le d.data d.pos in
+  d.pos <- d.pos + 8;
+  v
+
+let int d =
+  let v = int64 d "int" in
+  (* Encoded from an OCaml int, so it must fit back into one. *)
+  if Int64.of_int (Int64.to_int v) <> v then corrupt "int out of range";
+  Int64.to_int v
+
+let float d = Int64.float_of_bits (int64 d "float")
+
+let string d =
+  let n = int d in
+  if n < 0 then corrupt "negative string length %d" n;
+  need d n "string body";
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let float_array d =
+  let n = int d in
+  if n < 0 then corrupt "negative array length %d" n;
+  need d (8 * n) "float array body";
+  Array.init n (fun _ -> float d)
+
+let at_end d = d.pos = String.length d.data

@@ -1,0 +1,38 @@
+(** Binary record codec for {!Record_log} payloads.
+
+    Fixed-width little-endian primitives, length-prefixed strings, no
+    self-description: both sides agree on field order, and the log
+    frame's CRC (not the codec) is what detects corruption.  Floats
+    travel as their IEEE-754 bit patterns, so encode/decode round-trips
+    are exact — the byte-identical-replay guarantees rest on this.
+
+    Decoding a short or malformed payload raises {!Corrupt} with a
+    description; it never reads out of bounds. *)
+
+exception Corrupt of string
+
+type encoder
+
+val encoder : unit -> encoder
+val add_int : encoder -> int -> unit
+(** Full 63-bit range, sign included (8 bytes LE). *)
+
+val add_float : encoder -> float -> unit
+(** IEEE-754 bit pattern, 8 bytes LE; NaNs round-trip bit-exactly. *)
+
+val add_string : encoder -> string -> unit
+(** 8-byte length prefix, then the raw bytes. *)
+
+val add_float_array : encoder -> float array -> unit
+val contents : encoder -> string
+
+type decoder
+
+val decoder : string -> decoder
+val int : decoder -> int
+val float : decoder -> float
+val string : decoder -> string
+val float_array : decoder -> float array
+val at_end : decoder -> bool
+(** True when every byte has been consumed — decoders check this to
+    reject trailing garbage. *)

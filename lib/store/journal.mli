@@ -1,0 +1,49 @@
+(** Write-ahead request journal for [suu-serve].
+
+    Every admitted request frame is journaled {e before} execution
+    (write-ahead: the append is fsync'd, so an admitted request
+    survives a [kill -9] even if its execution never finished), and its
+    response frame is journaled after execution.  Frames are stored as
+    opaque byte strings — the journal layer knows nothing of the wire
+    protocol — correlated by a server-assigned sequence number.
+
+    Recovery pairs requests with their responses; a request whose
+    response record is missing was in flight when the process died.
+    {!Suu_server.Replay} re-executes a journal against a fresh service
+    and verifies responses byte-for-byte, turning any captured traffic
+    into a regression test. *)
+
+type entry = {
+  seq : int;
+  request : string;  (** the request frame, byte-exact *)
+  response : string option;
+      (** the response frame, or [None] if the process died before the
+          response was journaled *)
+}
+
+type t
+
+val read : string -> entry list
+(** Read-only recovery: the paired entries of the journal at [path] in
+    ascending [seq] order, ignoring (without modifying) a torn tail.  A
+    missing file is the empty journal.  Raises [Failure] on a file that
+    is not a record log. *)
+
+val open_journal : ?sync:bool -> string -> t * entry list
+(** Recover (truncating a torn tail) and open for appending; returns
+    the recovered entries in ascending [seq] order.  [sync] (default
+    [true]) applies to {e response} appends; request appends are always
+    fsync'd — that is the write-ahead guarantee. *)
+
+val next_seq : entry list -> int
+(** 1 + the largest recovered [seq] (0 for an empty journal): where a
+    restarted server continues numbering. *)
+
+val log_request : t -> seq:int -> string -> unit
+(** Journal an admitted request frame.  Durable on return. *)
+
+val log_response : t -> seq:int -> string -> unit
+
+val path : t -> string
+
+val close : t -> unit

@@ -1,0 +1,31 @@
+(* Reflected CRC-32, one 256-entry table computed at module init.  The
+   table entry for byte [b] is the CRC of the single byte [b] with a
+   zero initial value; a running CRC folds each byte through it. *)
+
+let table =
+  let t = Array.make 256 0l in
+  for b = 0 to 255 do
+    let c = ref (Int32.of_int b) in
+    for _ = 1 to 8 do
+      c :=
+        if Int32.logand !c 1l <> 0l then
+          Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+        else Int32.shift_right_logical !c 1
+    done;
+    t.(b) <- !c
+  done;
+  t
+
+let sub ?(crc = 0l) s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub: range out of bounds";
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string ?crc s = sub ?crc s ~pos:0 ~len:(String.length s)

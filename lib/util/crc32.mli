@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The checksum that frames every {!Suu_store} log record: cheap
+    enough to pay on each append, strong enough that a torn or
+    bit-flipped tail is detected with overwhelming probability during
+    the recovery scan.  Matches zlib's [crc32] (and therefore
+    [python -c 'import zlib; zlib.crc32(...)']), so journals can be
+    audited with stock tools. *)
+
+val string : ?crc:int32 -> string -> int32
+(** [string s] is the CRC-32 of the whole string; [string ~crc s]
+    continues a running checksum (feed chunks in order). *)
+
+val sub : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** Checksum of [s.[pos .. pos+len-1]].  Raises [Invalid_argument] when
+    the range is out of bounds. *)

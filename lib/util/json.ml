@@ -176,6 +176,8 @@ let to_float = function
   | Some (Bool b) -> Some (if b then 1.0 else 0.0)
   | _ -> None
 
+let to_bool = function Some (Bool b) -> Some b | _ -> None
+
 let to_string = function Some (String s) -> Some s | _ -> None
 
 let to_list = function Some (List l) -> Some l | _ -> None

@@ -25,5 +25,6 @@ val path : string list -> t -> t option
 (** Nested lookup: [path ["a"; "b"] j] is [j.a.b]. *)
 
 val to_float : t option -> float option
+val to_bool : t option -> bool option
 val to_string : t option -> string option
 val to_list : t option -> t list option
