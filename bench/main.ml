@@ -854,6 +854,31 @@ let perf_pipeline bechamel_rows =
   in
   note "observability overhead (greedy, lower-quartile of 15 on/off pairs): %+.2f%%"
     overhead_pct;
+  (* Solver parity: switching the serve-path default to certified MWU
+     must not change SEM/OBL makespan quality.  Same seeds, same
+     replication count, only the LP backend differs; the ratio is
+     mwu_mean / simplex_mean (1.0 = identical schedules). *)
+  let parity =
+    let mean xs =
+      Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+    in
+    let pinst = W.independent W.Near_one ~n:(n / 2) ~m ~seed:4243 in
+    List.map
+      (fun (pname, build) ->
+        let run solver =
+          mean (Runner.makespans ~jobs:1 pinst (build solver) ~seed:778 ~reps)
+        in
+        let s = run Suu_core.Solver_choice.Simplex in
+        let w = run (Suu_core.Solver_choice.Mwu 0.1) in
+        let ratio = w /. s in
+        note "solver parity %-10s simplex=%.4g mwu=%.4g ratio=%.4g" pname s w
+          ratio;
+        (pname, s, w, ratio))
+      [
+        ("suu-i-sem", fun s -> Suu_core.Suu_i_sem.policy ~solver:s pinst);
+        ("suu-i-obl", fun s -> Suu_core.Suu_i_obl.policy ~solver:s pinst);
+      ]
+  in
   (* JSON record. *)
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -883,6 +908,16 @@ let perf_pipeline bechamel_rows =
     par_rows;
   bpf "    ]\n";
   bpf "  },\n";
+  bpf "  \"solver_parity\": [\n";
+  List.iteri
+    (fun i (pname, s, w, ratio) ->
+      bpf
+        "    {\"policy\": %S, \"simplex_mean\": %.6g, \"mwu_mean\": %.6g, \
+         \"ratio\": %.6g}%s\n"
+        pname s w ratio
+        (if i = List.length parity - 1 then "" else ","))
+    parity;
+  bpf "  ],\n";
   bpf "  \"bechamel_ns_per_run\": {\n";
   let sorted = List.sort compare bechamel_rows in
   List.iteri
@@ -928,6 +963,8 @@ let perf () =
       ~lengths:(Array.make 16 1.0)
       ~jobs:(Array.init 16 Fun.id)
   in
+  let k64 = Suu_core.Mathx.rounds_k ~n:64 ~m:8 in
+  let warm_bases64 = Array.make (k64 + 1) None in
   let run_sem () =
     Runner.expected_makespan inst64 (Suu_core.Suu_i_sem.policy inst64)
       ~seed:11 ~reps:1
@@ -942,10 +979,42 @@ let perf () =
       Test.make ~name:"lp1-simplex-64x8"
         (Staged.stage (fun () ->
              Suu_core.Lp1.solve inst64 ~jobs:jobs64 ~target:0.5));
-      Test.make ~name:"lp1-mwu0.1-64x8"
+      Test.make ~name:"lp1-mwu-certified-64x8"
         (Staged.stage (fun () ->
              Suu_core.Lp1.solve ~solver:(Suu_core.Solver_choice.Mwu 0.1)
                inst64 ~jobs:jobs64 ~target:0.5));
+      (* The serve-path workload: LP1 at every doubling target
+         L_1..L_K for one survivor set.  The cold entry re-solves each
+         round from scratch (dense tableau); the warm entry mirrors
+         {!Suu_core.Plan_cache}'s basis store — each round warm-starts
+         from its own basis of the previous iteration (the round-exact
+         key; zero pivots in steady state) or, the first time, from the
+         previous round's basis (the latest key; a few repair
+         pivots). *)
+      Test.make ~name:"lp1-simplex-seq-64x8"
+        (Staged.stage (fun () ->
+             for k = 1 to k64 do
+               ignore
+                 (Suu_core.Lp1.solve inst64 ~jobs:jobs64
+                    ~target:(Suu_core.Mathx.target_for_round k))
+             done));
+      Test.make ~name:"lp1-revised-warm-seq-64x8"
+        (Staged.stage (fun () ->
+             let chained = ref None in
+             for k = 1 to k64 do
+               let hint =
+                 match warm_bases64.(k) with
+                 | Some _ as own -> own
+                 | None -> !chained
+               in
+               let frac =
+                 Suu_core.Lp1.solve ~solver:Suu_core.Solver_choice.Revised
+                   ?basis:hint inst64 ~jobs:jobs64
+                   ~target:(Suu_core.Mathx.target_for_round k)
+               in
+               warm_bases64.(k) <- frac.Suu_core.Lp1.basis;
+               chained := frac.Suu_core.Lp1.basis
+             done));
       Test.make ~name:"lemma2-rounding-64x8"
         (Staged.stage (fun () ->
              Suu_core.Rounding.round inst64 ~jobs:jobs64 ~target:0.5
@@ -1109,9 +1178,13 @@ let serve_bench () =
   let cache_stat k =
     match List.assoc_opt k stats_fields with Some v -> v | None -> "0"
   in
-  note "server counters: plan_cache_hits=%s plan_cache_misses=%s"
+  note "server counters: plan_cache_hits=%s plan_cache_misses=%s \
+        plan_cache_evictions=%s hit_rate=%s solver=%s"
     (cache_stat "plan_cache_hits")
-    (cache_stat "plan_cache_misses");
+    (cache_stat "plan_cache_misses")
+    (cache_stat "plan_cache_evictions")
+    (cache_stat "plan_cache_hit_rate")
+    (cache_stat "solver");
   (* Determinism over the wire: the same simulate request must yield
      byte-identical response frames at any worker/domain count. *)
   let sim_body =
@@ -1155,6 +1228,9 @@ let serve_bench () =
     (float_of_int rejects /. float_of_int (max 1 total));
   bpf "  \"plan_cache_hits\": %s,\n" (cache_stat "plan_cache_hits");
   bpf "  \"plan_cache_misses\": %s,\n" (cache_stat "plan_cache_misses");
+  bpf "  \"plan_cache_evictions\": %s,\n" (cache_stat "plan_cache_evictions");
+  bpf "  \"plan_cache_hit_rate\": %s,\n" (cache_stat "plan_cache_hit_rate");
+  bpf "  \"solver\": \"%s\",\n" (cache_stat "solver");
   bpf "  \"deterministic_over_the_wire\": %b,\n" deterministic;
   (* The load-tested server runs in this process, so the registry holds
      its request-phase spans (parse / queue_wait / execute / write). *)

@@ -273,7 +273,7 @@ let gantt_cmd =
 
 (* --- serve --- *)
 
-let serve host port workers queue deadline_ms sim_jobs faults journal =
+let serve host port workers queue deadline_ms sim_jobs solver faults journal =
   Suu_server.Server.run
     ~config:
       {
@@ -284,6 +284,7 @@ let serve host port workers queue deadline_ms sim_jobs faults journal =
         queue_capacity = queue;
         default_deadline_ms = deadline_ms;
         sim_jobs;
+        solver;
         faults;
         journal;
       }
@@ -327,6 +328,27 @@ let serve_cmd =
       & info [ "sim-jobs" ] ~docv:"D"
           ~doc:"Domains per simulate request (default: SUU_JOBS or cores).")
   in
+  let solver_conv =
+    let parse s =
+      match Suu_core.Solver_choice.of_string s with
+      | Result.Ok c -> Ok c
+      | Result.Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun ppf c ->
+        Format.pp_print_string ppf (Suu_core.Solver_choice.to_string c))
+  in
+  let solver =
+    Arg.(
+      value
+      & opt (some solver_conv) None
+      & info [ "solver" ] ~docv:"NAME"
+          ~doc:
+            "LP backend for every policy this server builds: simplex, \
+             revised, mwu or mwu-EPS.  Default: the SUU_SOLVER \
+             environment variable, else mwu-0.1 — certified \
+             multiplicative weights with automatic simplex fallback \
+             for tiny instances and failed optimality certificates.")
+  in
   let faults_conv =
     let parse s =
       match Suu_server.Faults.of_spec s with
@@ -362,7 +384,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ host_arg $ port_arg ~default:7483 $ workers $ queue
-      $ deadline $ sim_jobs $ faults $ journal)
+      $ deadline $ sim_jobs $ solver $ faults $ journal)
 
 (* --- replay --- *)
 

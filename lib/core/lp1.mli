@@ -17,14 +17,42 @@
 type frac = {
   x : float array array;  (** fractional assignment, [m x n] *)
   value : float;  (** the optimal (or near-optimal) load [t] *)
+  basis : int array option;
+      (** for {!Solver_choice.Revised} only: the optimal basis, opaque
+          to callers, to pass back as [?basis] when re-solving with a
+          scaled target (the doubling sequence).  [None] for the other
+          backends and for non-warm-startable optima. *)
 }
 
 val solve :
-  ?solver:Solver_choice.t -> Instance.t -> jobs:int array -> target:float ->
+  ?solver:Solver_choice.t ->
+  ?basis:int array ->
+  ?mwu_gap_limit:float ->
+  Instance.t ->
+  jobs:int array ->
+  target:float ->
   frac
 (** [solve inst ~jobs ~target] solves the relaxation restricted to [jobs].
-    Entries of [x] outside [jobs] are zero.  Raises [Invalid_argument] on
-    an empty [jobs] array, a non-positive [target], or duplicate jobs;
-    [Failure] if the LP solver fails (cannot happen on well-formed
-    instances: assigning every machine to every job long enough is always
-    feasible). *)
+    Entries of [x] outside [jobs] are zero.
+
+    [basis] (meaningful with [~solver:Revised]) warm-starts the revised
+    simplex from a basis returned by a previous solve over the {e same}
+    [jobs] set — e.g. the previous round of a doubling sequence.  A
+    basis that no longer fits is discarded and the solve runs cold, so
+    warm starting never changes the result, only its cost.
+
+    With [~solver:(Mwu eps)] each solution is verified against its own
+    weak-duality certificate: accepted when
+    [value / lower_bound <= mwu_gap_limit] (default
+    {!Solver_choice.guarantee}); on a failed certificate — or an
+    instance so small the dense simplex is cheaper
+    ([m * |jobs| <= 16]) — the exact simplex result is returned
+    instead.  The outcome is counted in the obs registry
+    ([lp1.mwu.certified], [lp1.mwu.fallback.cert],
+    [lp1.mwu.fallback.tiny]).  [mwu_gap_limit] exists so tests can
+    force the fallback; production callers leave it unset.
+
+    Raises [Invalid_argument] on an empty [jobs] array, a non-positive
+    [target], or duplicate jobs; [Failure] if the LP solver fails
+    (cannot happen on well-formed instances: assigning every machine to
+    every job long enough is always feasible). *)

@@ -19,7 +19,7 @@ let allowed_machines inst ~top_machines j =
       in
       List.filteri (fun idx _ -> idx < k) sorted
 
-let solve_impl ?top_machines inst ~chains =
+let solve_impl ?top_machines ~solver inst ~chains =
   let m = Instance.m inst in
   let n = Instance.n inst in
   let covered = Array.make n false in
@@ -91,7 +91,17 @@ let solve_impl ?top_machines inst ~chains =
       Suu_lp.Problem.add_constraint p [ (dvar.(j), 1.0) ] Suu_lp.Problem.Ge
         1.0)
     jobs;
-  let value, sol = Suu_lp.Simplex.solve_exn p in
+  (* (LP2) has chain-length and coupling rows (LP1 does not), so it is
+     not a min-load cover: MWU does not apply and maps to the dense
+     default.  [Revised] routes to the revised simplex — same exact
+     optimum, independent pivoting — chiefly so differential tests can
+     drive both backends through the full (LP2) shape. *)
+  let value, sol =
+    match solver with
+    | Solver_choice.Revised -> Suu_lp.Revised_simplex.solve_exn p
+    | Solver_choice.Simplex | Solver_choice.Mwu _ ->
+        Suu_lp.Simplex.solve_exn p
+  in
   let x = Array.make_matrix m n 0.0 in
   Hashtbl.iter (fun (i, j) v -> x.(i).(j) <- Float.max 0.0 sol.(v)) xvar;
   let d =
@@ -99,9 +109,11 @@ let solve_impl ?top_machines inst ~chains =
   in
   { x; d; value }
 
-let solve ?top_machines inst ~chains =
-  Suu_obs.Span.with_span "lp2.solve" (fun () ->
-      solve_impl ?top_machines inst ~chains)
+let solve ?top_machines ?(solver = Solver_choice.default) inst ~chains =
+  Suu_obs.Span.with_span
+    ~attrs:[ ("solver", Solver_choice.name solver) ]
+    "lp2.solve"
+    (fun () -> solve_impl ?top_machines ~solver inst ~chains)
 
 let round_impl inst frac =
   let n = Instance.n inst in

@@ -28,10 +28,18 @@ type frac = {
 }
 
 val solve :
-  ?top_machines:int -> Instance.t -> chains:Suu_dag.Chains.t -> frac
+  ?top_machines:int ->
+  ?solver:Solver_choice.t ->
+  Instance.t ->
+  chains:Suu_dag.Chains.t ->
+  frac
 (** [solve inst ~chains] solves the relaxation over the jobs mentioned in
-    [chains].  Raises [Invalid_argument] when chains repeat a job or
-    mention one out of range. *)
+    [chains].  [solver] picks the exact backend: [Revised] uses the
+    revised simplex, anything else (including [Mwu _], whose min-load
+    cover shape does not fit the chain-length rows) the dense tableau —
+    both exact, so the optimum is the same either way.  Raises
+    [Invalid_argument] when chains repeat a job or mention one out of
+    range. *)
 
 val round : Instance.t -> frac -> Assignment.t
 (** [round inst frac] applies the Lemma-6 rounding: the Lemma-2 network

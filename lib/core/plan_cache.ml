@@ -2,111 +2,389 @@
    pure function of (instance, solver, round, survivor set): the target
    is L_k = 2^(k-2) from the round alone, and nothing in the pipeline
    sees the trace.  Policies that are oblivious within a round — the
-   SUU-I family — recompute identical plans on every replication; memoizing
-   here turns the per-replication LP cost into a per-survivor-set one. *)
+   SUU-I family — recompute identical plans on every replication, and a
+   resident server replays the same deterministic request bodies over
+   and over; memoizing here turns the per-replication LP cost into a
+   per-survivor-set one.
 
-type key = int * int array (* round, survivors (ascending) *)
+   Plans live in one process-global sharded store, keyed by content —
+   (instance digest, solver, round, survivor set) — not by which policy
+   value asked.  Two policy values built against equal instances (the
+   server rebuilds policies whenever its instance cache evicts) share
+   every plan, and the store's capacity is sized for a whole process
+   rather than fragmented per policy.  Eviction is segmented LRU: each
+   lookup stamps its entry with the shard's logical clock, and an
+   overfull shard drops the least-recently-used half — a hot key (the
+   round-1 full-survivor plan recurs on every replication) is re-stamped
+   constantly and survives, where the old insertion-order clear-half
+   dropped exactly the oldest-inserted (hottest) entries first. *)
 
 type stats = { hits : int; misses : int; evictions : int }
 
-type t = {
-  solver : Solver_choice.t option;
-  inst : Instance.t;
-  lock : Mutex.t;
-  table : (key, Oblivious.t) Hashtbl.t;
-  order : key Queue.t; (* insertion order, for FIFO eviction *)
-  max_entries : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-}
+let hit_rate { hits; misses; _ } =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
-(* Process-wide aggregates: a resident server creates one cache per
-   policy value, so its stats endpoint wants the sum over all of them.
-   They live in the Obs registry so one [stats] scrape sees them next
-   to the span histograms they explain. *)
+(* Process-wide aggregates: the server's stats endpoint wants the sum
+   over every shard and every private cache.  They live in the Obs
+   registry so one [stats] scrape sees them next to the span histograms
+   they explain. *)
 let g_hits = lazy (Suu_obs.Registry.counter "plan_cache.hits")
 let g_misses = lazy (Suu_obs.Registry.counter "plan_cache.misses")
 let g_evictions = lazy (Suu_obs.Registry.counter "plan_cache.evictions")
 
-(* Distinct survivor sets are trace-dependent, so the table can in
-   principle grow without bound across replications; past this size we
-   evict the oldest half, keeping the recurring sets (every round-1 set,
-   and the high-threshold survivor sets that recur across traces) warm
-   in a long-lived process. *)
-let default_max_entries = 4096
+type entry = { plan : Oblivious.t; mutable tick : int }
 
-let create ?solver ?(max_entries = default_max_entries) inst =
-  if max_entries <= 0 then
-    invalid_arg "Plan_cache.create: max_entries must be positive";
-  { solver; inst; lock = Mutex.create (); table = Hashtbl.create 64;
-    order = Queue.create (); max_entries; hits = 0; misses = 0;
-    evictions = 0 }
+(* The lookup key, kept structural: policies look a plan up at every
+   round start of every replication, so building a serialized key
+   string there (one Buffer, ~65 boxed [Int32.t]s, a full-string hash
+   and memcmp per probe) dominated the served hit — ~20us against a
+   ~1us table probe.  A [pkey] costs one 4-word record: the prefix
+   string is physically shared by all of a handle's lookups and its
+   hash is precomputed at handle creation, and the survivor array is
+   borrowed (only copied if the key is actually inserted). *)
+type pkey = {
+  prefix : string; (* instance digest ^ solver name ^ '\000' *)
+  phash : int; (* hash of [prefix], precomputed per handle *)
+  round : int;
+  survivors : int array;
+}
 
-let fresh_plan ?solver inst ~round ~survivors =
+module Key = struct
+  type t = pkey
+
+  let equal a b =
+    a.round = b.round
+    && (a.prefix == b.prefix || String.equal a.prefix b.prefix)
+    && a.survivors = b.survivors
+
+  (* Allocation-free, and samples the whole survivor range: the
+     polymorphic [Hashtbl.hash] caps at 10 meaningful words, which
+     collides survivor sets sharing a 10-element prefix — common, since
+     sets shrink from the low-numbered jobs up. *)
+  let hash k =
+    let s = k.survivors in
+    let n = Array.length s in
+    let h = ref ((k.phash lxor (k.round * 0x1000193)) + n) in
+    let step = if n <= 16 then 1 else n / 16 in
+    let i = ref 0 in
+    while !i < n do
+      h := (!h * 0x01000193) lxor s.(!i);
+      i := !i + step
+    done;
+    if n > 0 then h := (!h * 0x01000193) lxor s.(n - 1);
+    !h land max_int
+end
+
+module KH = Hashtbl.Make (Key)
+
+type shard = {
+  slock : Mutex.t;
+  table : entry KH.t;
+  capacity : int;
+  mutable clock : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  obs : (Suu_obs.Counter.t * Suu_obs.Counter.t * Suu_obs.Counter.t) option;
+      (* per-shard registry counters, global store only *)
+}
+
+type store = { shards : shard array (* length is a power of two *) }
+
+let make_shard ~capacity ~obs =
+  { slock = Mutex.create (); table = KH.create 64; capacity;
+    clock = 0; s_hits = 0; s_misses = 0; s_evictions = 0; obs }
+
+let num_global_shards = 8
+let global_capacity = 32_768
+
+(* Surfacing per-shard traffic in obs.* (registered once, on first use
+   of the global store): hit/miss/eviction counts per shard, from which
+   a scrape derives per-shard rates — skew across shards is how a bad
+   key distribution would show up. *)
+let global_store =
+  lazy
+    {
+      shards =
+        Array.init num_global_shards (fun i ->
+            let c what =
+              Suu_obs.Registry.counter
+                (Printf.sprintf "plan_cache.shard%d.%s" i what)
+            in
+            make_shard
+              ~capacity:(global_capacity / num_global_shards)
+              ~obs:(Some (c "hits", c "misses", c "evictions")));
+    }
+
+type t = {
+  solver : Solver_choice.t option;
+  inst : Instance.t;
+  key_prefix : string; (* instance digest ^ solver name ^ '\000' *)
+  key_phash : int;
+  store : store;
+  (* Per-handle counters, lock-free: every domain driving this policy
+     touches them on every lookup, and a dedicated handle mutex was
+     measurable on the served hit path. *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+(* [Instance_io.to_string] plus [Digest.string] walk the whole
+   instance, and handles are not always long-lived: SUU-C (and SUU-T's
+   stages) build an inner SUU-I-SEM policy value — hence a cache
+   handle — at every segment boundary of every replication.  The digest
+   is therefore memoized by physical identity.  Structural hashing is
+   capped by [Hashtbl.hash] (a bounded prefix walk), equality is [==],
+   and the memo is reset when it outgrows the server's instance cache
+   rather than kept weak — worst case it re-digests, never leaks
+   unboundedly. *)
+module Id_tbl = Hashtbl.Make (struct
+  type t = Instance.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let digest_lock = Mutex.create ()
+let digest_memo : string Id_tbl.t = Id_tbl.create 16
+let digest_memo_cap = 128
+
+let instance_digest inst =
+  Mutex.lock digest_lock;
+  match Id_tbl.find_opt digest_memo inst with
+  | Some d ->
+      Mutex.unlock digest_lock;
+      d
+  | None ->
+      Mutex.unlock digest_lock;
+      let d = Digest.string (Instance_io.to_string inst) in
+      Mutex.lock digest_lock;
+      if Id_tbl.length digest_memo >= digest_memo_cap then
+        Id_tbl.reset digest_memo;
+      Id_tbl.replace digest_memo inst d;
+      Mutex.unlock digest_lock;
+      d
+
+let key_prefix ?solver inst =
+  let digest = instance_digest inst in
+  let solver = Option.value solver ~default:Solver_choice.default in
+  (* The digest is fixed-width and the solver name never contains a NUL,
+     so the prefix is decodable and the whole key injective. *)
+  digest ^ Solver_choice.name solver ^ "\000"
+
+let create ?solver ?max_entries inst =
+  let store =
+    match max_entries with
+    | None -> Lazy.force global_store
+    | Some me ->
+        if me <= 0 then
+          invalid_arg "Plan_cache.create: max_entries must be positive";
+        (* A private single-shard store: tests exercise eviction with a
+           tiny bound, and a handle that must not share state (isolated
+           experiments) opts out of the global store by bounding it. *)
+        { shards = [| make_shard ~capacity:me ~obs:None |] }
+  in
+  let prefix = key_prefix ?solver inst in
+  { solver; inst; key_prefix = prefix; key_phash = Hashtbl.hash prefix;
+    store; hits = Atomic.make 0; misses = Atomic.make 0;
+    evictions = Atomic.make 0 }
+
+let shard_of store khash = store.shards.(khash land (Array.length store.shards - 1))
+
+(* --- the warm-start basis store --- *)
+
+(* Optimal bases for the Revised backend, under two keys per solve.
+   The exact key (with the round) serves re-solves of an evicted plan:
+   warm-starting from the plan's own optimal basis verifies in zero
+   pivots.  The latest key (WITHOUT the round) serves the doubling
+   sequence: the (LP1) variable set depends only on
+   (instance, survivors) — which pairs have positive clipped log mass
+   is target-independent — so the basis left by round [k] seeds round
+   [k+1] of the same survivor set, where only the RHS and coefficient
+   clipping moved (a few repair pivots instead of a cold phase 1).
+   Purely an optimization hint: {!Suu_lp.Revised_simplex.solve_basis}
+   re-validates every basis against the fresh problem and falls back to
+   the cold two-phase path, so a stale entry can never change a plan.
+   Bounded by wholesale reset — losing hints costs one phase 1, not
+   correctness. *)
+let basis_lock = Mutex.create ()
+let basis_table : (string, int array) Hashtbl.t = Hashtbl.create 64
+let basis_capacity = 4096
+
+let basis_key t ~survivors ~round =
+  let b =
+    Buffer.create (String.length t.key_prefix + 4 + (4 * Array.length survivors))
+  in
+  Buffer.add_string b t.key_prefix;
+  (* round = -1 is the latest-of-any-round key; real rounds are >= 1. *)
+  Buffer.add_int32_le b (Int32.of_int round);
+  Array.iter (fun j -> Buffer.add_int32_le b (Int32.of_int j)) survivors;
+  Buffer.contents b
+
+let basis_find ~exact ~latest =
+  Mutex.lock basis_lock;
+  let b =
+    match Hashtbl.find_opt basis_table exact with
+    | Some _ as hit -> hit
+    | None -> Hashtbl.find_opt basis_table latest
+  in
+  Mutex.unlock basis_lock;
+  b
+
+let basis_store ~exact ~latest basis =
+  Mutex.lock basis_lock;
+  if Hashtbl.length basis_table + 1 >= basis_capacity then
+    Hashtbl.reset basis_table;
+  Hashtbl.replace basis_table exact basis;
+  Hashtbl.replace basis_table latest basis;
+  Mutex.unlock basis_lock
+
+(* --- the plan pipeline --- *)
+
+let pipeline ?solver ?basis inst ~round ~survivors =
   if Array.length survivors = 0 then
     invalid_arg "Plan_cache.fresh_plan: empty survivor set";
   Suu_obs.Span.with_span "plan_cache.solve" (fun () ->
       let target = Mathx.target_for_round round in
-      let { Lp1.x; value } = Lp1.solve ?solver inst ~jobs:survivors ~target in
+      let { Lp1.x; value; basis = out } =
+        Lp1.solve ?solver ?basis inst ~jobs:survivors ~target
+      in
       let rounded =
         Rounding.round inst ~jobs:survivors ~target ~frac:x ~frac_value:value
       in
-      Oblivious.of_assignment rounded)
+      (Oblivious.of_assignment rounded, out))
 
-(* Called with the lock held. *)
-let evict_half t =
-  let drop = max 1 (t.max_entries / 2) in
-  for _ = 1 to drop do
-    match Queue.take_opt t.order with
-    | Some k ->
-        Hashtbl.remove t.table k;
-        t.evictions <- t.evictions + 1;
-        Suu_obs.Counter.incr (Lazy.force g_evictions)
-    | None -> ()
-  done
+let fresh_plan ?solver inst ~round ~survivors =
+  fst (pipeline ?solver inst ~round ~survivors)
 
-let plan t ~round ~survivors =
-  Mutex.lock t.lock;
-  match Hashtbl.find_opt t.table (round, survivors) with
-  | Some p ->
-      t.hits <- t.hits + 1;
-      Suu_obs.Counter.incr (Lazy.force g_hits);
-      Mutex.unlock t.lock;
-      p
+(* Called with the shard lock held.  Drop the least-recently-used half:
+   entries are stamped on every lookup, so sorting by stamp keeps the
+   working set and sheds the churn. *)
+let evict_lru_half sh =
+  let arr =
+    Array.of_list (KH.fold (fun k e acc -> (k, e.tick) :: acc) sh.table [])
+  in
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  let drop = max 1 (Array.length arr / 2) in
+  for j = 0 to drop - 1 do
+    KH.remove sh.table (fst arr.(j))
+  done;
+  sh.s_evictions <- sh.s_evictions + drop;
+  (match sh.obs with
+  | Some (_, _, ce) -> Suu_obs.Counter.add ce drop
+  | None -> ());
+  Suu_obs.Counter.add (Lazy.force g_evictions) drop;
+  drop
+
+(* The solve for a missing key runs under the shard lock: concurrent
+   replications of the same instance mostly want the same plan, so
+   serializing the solve lets every other domain reuse it instead of
+   re-deriving it.  [count] is false for {!shared_plan} — policy
+   construction must not perturb the hit/miss statistics a client reads
+   from [stats] (see {!Service.warm}). *)
+let lookup t ~count ~round ~survivors =
+  let key =
+    { prefix = t.key_prefix; phash = t.key_phash; round; survivors }
+  in
+  let sh = shard_of t.store (Key.hash key) in
+  Mutex.lock sh.slock;
+  sh.clock <- sh.clock + 1;
+  match KH.find_opt sh.table key with
+  | Some e ->
+      e.tick <- sh.clock;
+      if count then begin
+        sh.s_hits <- sh.s_hits + 1;
+        (match sh.obs with
+        | Some (ch, _, _) -> Suu_obs.Counter.incr ch
+        | None -> ());
+        Suu_obs.Counter.incr (Lazy.force g_hits)
+      end;
+      Mutex.unlock sh.slock;
+      if count then Atomic.incr t.hits;
+      e.plan
   | None ->
-      t.misses <- t.misses + 1;
-      Suu_obs.Counter.incr (Lazy.force g_misses);
-      (* Solve under the lock: concurrent replications of the same
-         instance mostly want the same plan, so serializing the solve
-         lets every other domain reuse it instead of re-deriving it. *)
+      if count then begin
+        sh.s_misses <- sh.s_misses + 1;
+        (match sh.obs with
+        | Some (_, cm, _) -> Suu_obs.Counter.incr cm
+        | None -> ());
+        Suu_obs.Counter.incr (Lazy.force g_misses)
+      end;
       let finish () =
-        let p = fresh_plan ?solver:t.solver t.inst ~round ~survivors in
-        if Hashtbl.length t.table >= t.max_entries then evict_half t;
-        let k = (round, Array.copy survivors) in
-        Hashtbl.add t.table k p;
-        Queue.add k t.order;
-        Mutex.unlock t.lock;
-        p
+        let resolved = Option.value t.solver ~default:Solver_choice.default in
+        let bkeys =
+          match resolved with
+          | Solver_choice.Revised ->
+              Some
+                ( basis_key t ~survivors ~round,
+                  basis_key t ~survivors ~round:(-1) )
+          | _ -> None
+        in
+        let basis =
+          Option.bind bkeys (fun (exact, latest) ->
+              basis_find ~exact ~latest)
+        in
+        let plan, basis_out =
+          pipeline ?solver:t.solver ?basis t.inst ~round ~survivors
+        in
+        (match (bkeys, basis_out) with
+        | Some (exact, latest), Some b -> basis_store ~exact ~latest b
+        | _ -> ());
+        let dropped =
+          if KH.length sh.table >= sh.capacity then evict_lru_half sh
+          else 0
+        in
+        (* The lookup key borrows the caller's survivor array; the
+           stored key must own its copy. *)
+        KH.replace sh.table
+          { key with survivors = Array.copy survivors }
+          { plan; tick = sh.clock };
+        Mutex.unlock sh.slock;
+        if count then begin
+          Atomic.incr t.misses;
+          if dropped > 0 then
+            ignore (Atomic.fetch_and_add t.evictions dropped)
+        end;
+        plan
       in
       (try finish ()
        with e ->
-         Mutex.unlock t.lock;
+         Mutex.unlock sh.slock;
          raise e)
 
+let plan t ~round ~survivors = lookup t ~count:true ~round ~survivors
+
+let shared_plan ?solver inst ~round ~survivors =
+  lookup (create ?solver inst) ~count:false ~round ~survivors
+
 let stats t =
-  Mutex.lock t.lock;
-  let r = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
-  Mutex.unlock t.lock;
-  r
+  { hits = Atomic.get t.hits; misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions }
 
 let size t =
-  Mutex.lock t.lock;
-  let n = Hashtbl.length t.table in
-  Mutex.unlock t.lock;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.slock;
+      let n = KH.length sh.table in
+      Mutex.unlock sh.slock;
+      acc + n)
+    0 t.store.shards
 
 let global_stats () =
   { hits = Suu_obs.Counter.get (Lazy.force g_hits);
     misses = Suu_obs.Counter.get (Lazy.force g_misses);
     evictions = Suu_obs.Counter.get (Lazy.force g_evictions) }
+
+let shard_stats () =
+  Array.map
+    (fun sh ->
+      Mutex.lock sh.slock;
+      let r =
+        { hits = sh.s_hits; misses = sh.s_misses;
+          evictions = sh.s_evictions }
+      in
+      Mutex.unlock sh.slock;
+      r)
+    (Lazy.force global_store).shards

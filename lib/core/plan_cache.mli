@@ -2,51 +2,95 @@
 
     The per-round plan pipeline — solve (LP1) on the survivors with
     target [L_k = 2^(k-2)], round by Lemma 2, serialize into an
-    oblivious schedule — depends only on [(round, survivor set)], never
-    on the trace.  Replications of the same instance therefore share a
-    cache (one per policy value), created by the policy constructor and
-    consulted by every execution's stepper.
+    oblivious schedule — depends only on
+    [(instance, solver, round, survivor set)], never on the trace or on
+    which policy value asked.  Plans therefore live in one
+    {e process-global} sharded store keyed by content: replications of
+    one policy share plans with each other, with every other policy
+    value built against an equal instance (the server rebuilds policies
+    whenever its instance cache evicts), and with {!Suu_i_obl}'s
+    one-plan policies via {!shared_plan}.
 
-    Thread-safe: a mutex guards the table, so one policy value may be
-    driven from many domains (the parallel {!Suu_sim.Runner}).  The
-    solve for a missing key runs under the lock — concurrent
-    replications want the same plans, so serializing the solve lets the
-    other domains reuse the result instead of re-deriving it.  The
-    table is bounded ([max_entries], default 4096); when an insertion
-    would exceed the bound the oldest half of the entries is evicted
-    (FIFO), so a long-lived process keeps caching recent survivor sets
-    instead of degrading to a solve per request. *)
+    A {!t} is a lightweight handle onto the store: it pins the
+    instance/solver half of the key and carries this handle's own
+    hit/miss counters ({!stats}), while the aggregate traffic is
+    visible per shard ({!shard_stats}) and process-wide
+    ({!global_stats}, also in the obs registry as
+    [plan_cache.{hits,misses,evictions}] and
+    [plan_cache.shardN.*]).
+
+    Thread-safe: a mutex per shard, so policy values may be driven from
+    many domains (the parallel {!Suu_sim.Runner}).  The solve for a
+    missing key runs under its shard's lock — concurrent replications
+    want the same plans, so serializing the solve lets the other
+    domains reuse the result instead of re-deriving it.
+
+    Each shard is bounded; when an insertion would overflow, the
+    {e least-recently-used} half of the shard is dropped.  Every lookup
+    (hit or miss) re-stamps its entry on the shard's logical clock, so
+    hot keys — round-1 plans recur on every replication — survive
+    arbitrary churn from trace-dependent survivor sets, where the old
+    insertion-order clear-half evicted exactly the hottest entries.
+
+    For [Solver_choice.Revised] handles the store also keeps the last
+    optimal basis per (instance, solver, survivor set) — without the
+    round — so round [k+1] of a doubling sequence warm-starts from
+    round [k]'s basis (the (LP1) variable set is target-independent).
+    Bases are hints: the solver re-validates them and solves cold when
+    they no longer fit, so this can never change a plan. *)
 
 type t
 
 type stats = { hits : int; misses : int; evictions : int }
 (** Monotone counters: lookups served from the table, lookups that
-    solved, and entries removed by the clear-half eviction. *)
+    solved, and entries removed by eviction. *)
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], or [0.] before any lookup. *)
 
 val create : ?solver:Solver_choice.t -> ?max_entries:int -> Instance.t -> t
-(** A fresh, empty cache for [inst].  [max_entries] bounds the table
-    (default 4096; raises [Invalid_argument] when not positive). *)
+(** A handle for [inst] onto the process-global store.  With
+    [max_entries] the handle instead owns a {e private} single-shard
+    store bounded to that many entries (raises [Invalid_argument] when
+    not positive) — for tests that exercise eviction, and for callers
+    that must not share state across policy values. *)
 
 val plan : t -> round:int -> survivors:int array -> Oblivious.t
 (** [plan t ~round ~survivors] is the round-[round] oblivious plan for
     the (ascending) survivor set, computed on first use and cached.
-    Cached hits return the same physical plan (plans are immutable).
-    Raises [Invalid_argument] on an empty survivor set. *)
+    Cached hits return the same physical plan (plans are immutable) —
+    including hits on entries another handle inserted.  Raises
+    [Invalid_argument] on an empty survivor set. *)
+
+val shared_plan :
+  ?solver:Solver_choice.t -> Instance.t -> round:int ->
+  survivors:int array -> Oblivious.t
+(** Like {!plan} through a throwaway handle on the global store, but
+    {e uncounted}: neither hit/miss statistics nor the obs registry
+    move.  For policy construction ({!Suu_i_obl} builds its single plan
+    eagerly), which must share plans without perturbing the statistics
+    a server's [stats] endpoint reports — warm-starting a server boots
+    policies without inflating its hit rate (see {!Service.warm}). *)
 
 val fresh_plan :
   ?solver:Solver_choice.t -> Instance.t -> round:int ->
   survivors:int array -> Oblivious.t
 (** The uncached pipeline: what {!plan} computes on a miss.  Exposed so
-    tests can check cached plans against freshly solved ones, and for
-    one-shot users ({!Suu_i_obl} builds its single plan once). *)
+    tests can check cached plans against freshly solved ones. *)
 
 val stats : t -> stats
-(** This cache's counters so far. *)
+(** This handle's counters: lookups made through [t], and entries its
+    insertions displaced. *)
 
 val size : t -> int
-(** Current number of cached plans. *)
+(** Current number of cached plans in [t]'s store (for a global handle:
+    the whole process-wide store). *)
 
 val global_stats : unit -> stats
-(** Counters aggregated over every cache created since process start —
-    what a resident server reports, since each policy value owns a
-    private cache. *)
+(** Counters aggregated over every handle and store since process
+    start — what a resident server reports. *)
+
+val shard_stats : unit -> stats array
+(** Per-shard traffic of the process-global store, index-aligned with
+    the [plan_cache.shardN.*] registry counters.  Private stores are
+    not included. *)

@@ -24,8 +24,8 @@ type prepared = {
   chains : Suu_dag.Chains.t;
 }
 
-let prepare ?top_machines inst ~chains =
-  let frac = Lp2.solve ?top_machines inst ~chains in
+let prepare ?top_machines ?solver inst ~chains =
+  let frac = Lp2.solve ?top_machines ?solver inst ~chains in
   let assignment = Lp2.round inst frac in
   let m = Instance.m inst in
   let covered = Suu_dag.Chains.total_jobs chains in
@@ -280,6 +280,6 @@ let policy ?solver ?top_machines ?stats ?random_delays ?delay_granularity
   match Suu_dag.Chains.of_dag (Instance.dag inst) with
   | None -> invalid_arg "Suu_c.policy: precedence dag is not disjoint chains"
   | Some chains ->
-      let prep = prepare ?top_machines inst ~chains in
+      let prep = prepare ?top_machines ?solver inst ~chains in
       policy_of_prepared ?solver ?stats ?random_delays ?delay_granularity
         inst prep

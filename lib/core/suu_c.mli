@@ -46,9 +46,14 @@ type prepared = {
 }
 
 val prepare :
-  ?top_machines:int -> Instance.t -> chains:Suu_dag.Chains.t -> prepared
+  ?top_machines:int ->
+  ?solver:Solver_choice.t ->
+  Instance.t ->
+  chains:Suu_dag.Chains.t ->
+  prepared
 (** [prepare inst ~chains] runs the LP and rounding stages (once;
-    deterministic). *)
+    deterministic).  [solver] selects the (LP2) backend (see
+    {!Lp2.solve}). *)
 
 val policy_of_prepared :
   ?solver:Solver_choice.t ->

@@ -1,9 +1,13 @@
 (* The single LP1(J, 1/2) plan is round 1 of the shared pipeline
-   (L_1 = 1/2), computed once per policy value — the plan is oblivious,
-   so every replication replays the same schedule. *)
+   (L_1 = 1/2), fetched through the process-global plan store — the
+   same (instance, solver, round 1, all jobs) key SUU-I-SEM's first
+   round uses, so whichever policy runs first pays the solve and the
+   other reuses it.  The fetch is uncounted ({!Plan_cache.shared_plan}):
+   policy construction must not perturb the hit/miss statistics a
+   server reports (see {!Service.warm}). *)
 let plan ?solver inst =
   let jobs = Array.init (Instance.n inst) (fun j -> j) in
-  Plan_cache.fresh_plan ?solver inst ~round:1 ~survivors:jobs
+  Plan_cache.shared_plan ?solver inst ~round:1 ~survivors:jobs
 
 let policy ?solver inst =
   let schedule = plan ?solver inst in

@@ -8,7 +8,7 @@ let policy ?solver ?top_machines inst =
   let stages =
     Array.map
       (fun chains ->
-        let prep = Suu_c.prepare ?top_machines inst ~chains in
+        let prep = Suu_c.prepare ?top_machines ?solver inst ~chains in
         (chains, Suu_c.policy_of_prepared ?solver inst prep))
       stage_chains
   in

@@ -1,4 +1,8 @@
-type solution = { x : float array array; value : float }
+type solution = {
+  x : float array array;
+  value : float;
+  lower_bound : float;
+}
 
 let min_load_cover ~a ~m ~n ~targets ~eps =
   if eps <= 0.0 || eps > 0.5 then invalid_arg "Mwu: eps must be in (0, 0.5]";
@@ -34,6 +38,31 @@ let min_load_cover ~a ~m ~n ~targets ~eps =
     done;
     !best
   in
+  (* Weak-duality certificate.  For the dual of the min-load cover
+       maximize  sum_j T_j z_j
+       s.t.      a_ij z_j <= y_i,  sum_i y_i <= 1,  y, z >= 0
+     any positive weight vector yields a feasible point: take
+     y_i = w_i / sum w and z_j = min_i y_i / a_ij, so the dual value
+       sum_j T_j z_j = (sum_j min_{i in supp j} w_i / gain_ij) / sum w
+     is a lower bound on the optimal load — unconditionally, whatever
+     the weights.  Evaluated at every phase boundary (the weights move
+     within a phase, and the mid-run duals are often the tightest); the
+     best one becomes the certificate. *)
+  let dual_bound () =
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      let sup = support.(j) in
+      let best = ref (w.(sup.(0)) /. gain.(sup.(0)).(j)) in
+      for k = 1 to Array.length sup - 1 do
+        let i = sup.(k) in
+        let c = w.(i) /. gain.(i).(j) in
+        if c < !best then best := c
+      done;
+      acc := !acc +. !best
+    done;
+    !acc /. !total
+  in
+  let lower_bound = ref (dual_bound ()) in
   (* Phases: route one unit of (normalized) coverage per job per phase. *)
   while !total < 1.0 do
     let j = ref 0 in
@@ -50,7 +79,9 @@ let min_load_cover ~a ~m ~n ~targets ~eps =
         total := !total +. bump
       done;
       incr j
-    done
+    done;
+    let lb = dual_bound () in
+    if lb > !lower_bound then lower_bound := lb
   done;
   (* Scale to feasibility: first undo the GK overcounting, then normalize
      the least-covered job to its target. *)
@@ -73,4 +104,4 @@ let min_load_cover ~a ~m ~n ~targets ~eps =
     done;
     if !load > !value then value := !load
   done;
-  { x; value = !value }
+  { x; value = !value; lower_bound = !lower_bound }

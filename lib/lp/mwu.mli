@@ -18,6 +18,13 @@
 type solution = {
   x : float array array;  (** [x.(i).(j)]: steps of machine [i] on job [j] *)
   value : float;  (** the achieved load [max_i sum_j x.(i).(j)] *)
+  lower_bound : float;
+      (** a certified lower bound on the {e optimal} load, obtained by
+          weak duality from the multiplicative weights: any positive
+          weight vector induces a feasible dual point, so
+          [lower_bound <= optimum <= value] holds unconditionally — the
+          ratio [value /. lower_bound] is a per-solve verified
+          optimality gap, not an asymptotic promise. *)
 }
 
 val min_load_cover :

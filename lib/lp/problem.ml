@@ -38,23 +38,45 @@ let set_obj t v c =
   if v < 0 || v >= t.nvars then invalid_arg "Problem.set_obj: bad var";
   t.obj.(v) <- c
 
-(* Merge duplicate variables in a term list. *)
+(* Merge duplicate variables in a term list.  The common case — terms
+   already distinct — must stay cheap: constraint construction is on
+   the plan-building hot path, so the hash-merge only runs when a sort
+   actually reveals a duplicate. *)
 let normalize_terms t terms =
-  List.iter
+  let arr = Array.of_list terms in
+  let len = Array.length arr in
+  Array.iter
     (fun (v, _) ->
       if v < 0 || v >= t.nvars then
         invalid_arg "Problem.add_constraint: variable out of range")
-    terms;
-  let tbl = Hashtbl.create (List.length terms) in
-  List.iter
-    (fun (v, c) ->
-      let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
-      Hashtbl.replace tbl v (prev +. c))
-    terms;
-  let acc = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
-  let arr = Array.of_list acc in
-  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-  arr
+    arr;
+  let sorted = ref true in
+  for i = 1 to len - 1 do
+    if fst arr.(i - 1) >= fst arr.(i) then sorted := false
+  done;
+  if !sorted then arr
+  else begin
+    Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+    let dup = ref false in
+    for i = 1 to len - 1 do
+      if fst arr.(i - 1) = fst arr.(i) then dup := true
+    done;
+    if not !dup then arr
+    else begin
+      (* In-place adjacent merge over the sorted copy. *)
+      let out = ref 0 in
+      for i = 1 to len - 1 do
+        let v, c = arr.(i) in
+        let v0, c0 = arr.(!out) in
+        if v = v0 then arr.(!out) <- (v0, c0 +. c)
+        else begin
+          incr out;
+          arr.(!out) <- (v, c)
+        end
+      done;
+      Array.sub arr 0 (!out + 1)
+    end
+  end
 
 let add_constraint ?name:_ t terms sense rhs =
   let terms = normalize_terms t terms in

@@ -19,5 +19,26 @@ val solve : ?max_iters:int -> Problem.t -> Simplex.result
     numerical tolerance, though the optimal vertex may differ when the
     optimum is degenerate). *)
 
+val solve_basis :
+  ?max_iters:int -> ?basis:int array -> Problem.t ->
+  Simplex.result * int array option
+(** [solve_basis ?basis p] is {!solve} with optional warm starting.
+
+    The basis argument is an opaque list of standard-form column
+    indices, as returned by a previous [solve_basis] call on a problem
+    with the {e same constraint structure} (same variables and
+    constraints in the same insertion order — e.g. the previous target
+    of a doubling sequence, where only the RHS and coefficient clipping
+    move).  When the supplied basis is structurally valid, nonsingular
+    against the new constraint matrix and primal feasible under the new
+    RHS, phase 1 is skipped entirely and optimization resumes from it;
+    otherwise the basis is discarded and the cold two-phase path runs —
+    a stale or foreign basis can cost the warm-start attempt, never
+    correctness.
+
+    The second component of the result is the optimal basis to feed the
+    next restart: [Some b] when the solve ended [Optimal] with an
+    artificial-free basis, [None] otherwise. *)
+
 val solve_exn : ?max_iters:int -> Problem.t -> float * float array
 (** Like {!Simplex.solve_exn}. *)

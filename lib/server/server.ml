@@ -8,6 +8,7 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : int;
   sim_jobs : int option;
+  solver : Suu_core.Solver_choice.t option;
   faults : Faults.config option;
   journal : string option;
   clock_ns : unit -> int64;
@@ -15,8 +16,28 @@ type config = {
 
 let default_config =
   { host = "127.0.0.1"; port = 0; workers = 4; queue_capacity = 64;
-    default_deadline_ms = 30_000; sim_jobs = None; faults = None;
-    journal = None; clock_ns = Suu_obs.Clock.now_ns }
+    default_deadline_ms = 30_000; sim_jobs = None; solver = None;
+    faults = None; journal = None; clock_ns = Suu_obs.Clock.now_ns }
+
+let solver_env_var = "SUU_SOLVER"
+
+(* Solver resolution, like [SUU_FAULTS]/[SUU_JOURNAL]: the config field
+   wins; then the environment; then the serve-path default (certified
+   MWU with automatic simplex fallback) — NOT the library default, which
+   stays on the exact simplex for offline work.  A malformed env spec is
+   a startup error, not a silently-misconfigured server. *)
+let solver config =
+  match config.solver with
+  | Some s -> s
+  | None -> (
+      match Sys.getenv_opt solver_env_var with
+      | None | Some "" -> Suu_core.Solver_choice.serve_default
+      | Some spec -> (
+          match Suu_core.Solver_choice.of_string spec with
+          | Ok s -> s
+          | Error msg ->
+              invalid_arg
+                (Printf.sprintf "Server.start: bad %s: %s" solver_env_var msg)))
 
 let journal_env_var = "SUU_JOURNAL"
 
@@ -363,6 +384,9 @@ let start ?(config = default_config) () =
       Printf.eprintf "suu-serve: fault injection ACTIVE (%s)\n%!"
         (Faults.to_spec (Faults.config f))
   | None -> ());
+  (* Resolve the solver before binding anything: a malformed SUU_SOLVER
+     must fail startup without leaking the listener fd. *)
+  let solver_choice = solver config in
   (* Open (and recover) the journal before binding the socket: recovery
      may truncate a torn tail, and a server that cannot journal must
      fail to start rather than silently run without the write-ahead
@@ -412,8 +436,8 @@ let start ?(config = default_config) () =
         ]
   in
   let service =
-    Service.create ?sim_jobs:config.sim_jobs ~extra_stats
-      ~clock_ns:config.clock_ns ~metrics ()
+    Service.create ?sim_jobs:config.sim_jobs ~solver:solver_choice
+      ~extra_stats ~clock_ns:config.clock_ns ~metrics ()
   in
   (* Warm-start: replay the recovered journal's request bodies into the
      caches (instances and policies only — nothing executes, so the

@@ -46,6 +46,13 @@ type config = {
   sim_jobs : int option;
       (** domain count for simulate fan-out (default: the
           {!Suu_sim.Parallel} default) *)
+  solver : Suu_core.Solver_choice.t option;
+      (** LP backend for every policy this server builds.  [None] (the
+          default) consults the [SUU_SOLVER] environment variable
+          ([simplex], [revised], [mwu], [mwu-EPS]) and falls back to
+          {!Suu_core.Solver_choice.serve_default} — certified MWU with
+          automatic simplex fallback for tiny instances and failed
+          certificates.  A malformed [SUU_SOLVER] fails {!start}. *)
   faults : Faults.config option;
       (** fault-injection config.  [None] (the default) consults the
           [SUU_FAULTS] environment variable; [Some Faults.none]

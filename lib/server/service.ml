@@ -21,6 +21,7 @@ type t = {
   order : string Queue.t; (* insertion order, FIFO eviction *)
   capacity : int;
   sim_jobs : int option;
+  solver : Suu_core.Solver_choice.t option;
   extra_stats : (unit -> (string * string) list) option;
   metrics : Metrics.t;
   clock_ns : unit -> int64;
@@ -34,13 +35,13 @@ let check t ~deadline =
   | Some d when Int64.compare (t.clock_ns ()) d > 0 -> raise Expired
   | _ -> ()
 
-let create ?(instance_cache_capacity = 64) ?sim_jobs ?extra_stats
+let create ?(instance_cache_capacity = 64) ?sim_jobs ?solver ?extra_stats
     ?(clock_ns = Suu_obs.Clock.now_ns) ~metrics () =
   if instance_cache_capacity < 1 then
     invalid_arg "Service.create: instance_cache_capacity must be >= 1";
   { lock = Mutex.create (); cache = Hashtbl.create 64;
     order = Queue.create (); capacity = instance_cache_capacity; sim_jobs;
-    extra_stats; metrics; clock_ns }
+    solver; extra_stats; metrics; clock_ns }
 
 let entry_for t inst =
   let digest = Digest.string (Suu_core.Instance_io.to_string inst) in
@@ -75,7 +76,7 @@ let shape inst = Classify.classify (Instance.dag inst)
 (* Shape-restricted policies are validated here rather than left to the
    engine's Invalid_schedule: the client gets "inapplicable", not
    "policy bug". *)
-let build_policy name inst =
+let build_policy ?solver name inst =
   let open Suu_core in
   let requires what ok f =
     if ok then Result.Ok (f ())
@@ -87,22 +88,22 @@ let build_policy name inst =
   in
   let s = shape inst in
   match name with
-  | "auto" -> Result.Ok (Auto.policy inst)
+  | "auto" -> Result.Ok (Auto.policy ?solver inst)
   | "suu-i-sem" ->
       requires "independent jobs" (s = Classify.Independent) (fun () ->
-          Suu_i_sem.policy inst)
+          Suu_i_sem.policy ?solver inst)
   | "suu-i-obl" ->
       requires "independent jobs" (s = Classify.Independent) (fun () ->
-          Suu_i_obl.policy inst)
+          Suu_i_obl.policy ?solver inst)
   | "greedy-oblivious" ->
       requires "independent jobs" (s = Classify.Independent) (fun () ->
           Baselines.greedy_oblivious inst)
   | "suu-c" ->
       let ok = match s with Classify.Disjoint_chains _ -> true | _ -> false in
-      requires "disjoint chains" ok (fun () -> Suu_c.policy inst)
+      requires "disjoint chains" ok (fun () -> Suu_c.policy ?solver inst)
   | "suu-t" ->
       let ok = match s with Classify.Directed_forest _ -> true | _ -> false in
-      requires "a directed forest" ok (fun () -> Suu_t.policy inst)
+      requires "a directed forest" ok (fun () -> Suu_t.policy ?solver inst)
   | "greedy" -> Result.Ok (Baselines.greedy_completion inst)
   | "round-robin" -> Result.Ok (Baselines.round_robin inst)
   | "serial" -> Result.Ok (Baselines.serial inst)
@@ -121,7 +122,7 @@ let get_policy t inst name =
     | None -> (
         (* Build against the cached instance value, so every request
            with this digest shares one policy (and one plan cache). *)
-        match build_policy name e.inst with
+        match build_policy ?solver:t.solver name e.inst with
         | Result.Ok p ->
             Hashtbl.add e.policies name p;
             Result.Ok p
@@ -158,7 +159,7 @@ let lower_bound t ~deadline inst =
   let cp = LB.critical_path inst in
   let work = LB.work inst in
   check t ~deadline;
-  let lp = LB.lp1_half inst in
+  let lp = LB.lp1_half ?solver:t.solver inst in
   [ ("lp1_half", f17 lp); ("critical_path", f17 cp); ("work", f17 work);
     ("combined", f17 (Float.max 1.0 (Float.max lp (Float.max cp work)))) ]
 
@@ -231,16 +232,33 @@ let simulate t ~deadline inst name ~reps ~seed =
           ("max", f17 s.Suu_stats.Summary.max) ]
 
 let stats_fields t =
-  let pc = Suu_core.Plan_cache.global_stats () in
+  let module PC = Suu_core.Plan_cache in
+  let pc = PC.global_stats () in
   Mutex.lock t.lock;
   let entries = Hashtbl.length t.cache in
   Mutex.unlock t.lock;
+  (* Per-shard hit rates next to the global one: raw counts live in the
+     obs.* snapshot below; the precomputed rates are what an operator
+     (and the bench gate) actually watches, and skew across shards is
+     how a bad key distribution would show up. *)
+  let shard_rates =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           (Printf.sprintf "plan_cache_shard%d_hit_rate" i,
+            f17 (PC.hit_rate s)))
+         (PC.shard_stats ()))
+  in
   Metrics.render t.metrics
-  @ [ ("plan_cache_hits", string_of_int pc.Suu_core.Plan_cache.hits);
-      ("plan_cache_misses", string_of_int pc.Suu_core.Plan_cache.misses);
-      ("plan_cache_evictions",
-       string_of_int pc.Suu_core.Plan_cache.evictions);
+  @ [ ("plan_cache_hits", string_of_int pc.PC.hits);
+      ("plan_cache_misses", string_of_int pc.PC.misses);
+      ("plan_cache_evictions", string_of_int pc.PC.evictions);
+      ("plan_cache_hit_rate", f17 (PC.hit_rate pc));
+      ("solver",
+       Suu_core.Solver_choice.name
+         (Option.value t.solver ~default:Suu_core.Solver_choice.default));
       ("instance_cache_entries", string_of_int entries) ]
+  @ shard_rates
   @ (match t.extra_stats with Some f -> f () | None -> [])
   (* Full process-wide observability snapshot: every registry counter
      and per-phase latency quantiles.  Prefixed "obs." so clients can
@@ -249,11 +267,14 @@ let stats_fields t =
 
 (* Warm-start from a recovered journal: re-populate the instance cache
    and materialize the policies the journaled requests named, without
-   executing anything.  Building a policy does not touch its plan
-   cache — {!Suu_core.Plan_cache} counters fire only when [plan ()]
-   runs — so booting warm cannot inflate the hit/miss statistics a
-   client later reads from [stats].  [store.warm_start.loaded] counts
-   the bodies that contributed to the caches instead. *)
+   executing anything.  Building a policy never moves the plan-cache
+   statistics — {!Suu_core.Plan_cache} counters fire only when
+   [plan ()] runs during execution, and the one eager builder
+   ({!Suu_core.Suu_i_obl}) goes through the uncounted
+   {!Suu_core.Plan_cache.shared_plan} — so booting warm cannot inflate
+   the hit/miss statistics a client later reads from [stats].
+   [store.warm_start.loaded] counts the bodies that contributed to the
+   caches instead. *)
 let c_warm_loaded = lazy (Suu_obs.Registry.counter "store.warm_start.loaded")
 
 let warm t body =

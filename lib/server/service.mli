@@ -31,6 +31,7 @@ type t
 val create :
   ?instance_cache_capacity:int ->
   ?sim_jobs:int ->
+  ?solver:Suu_core.Solver_choice.t ->
   ?extra_stats:(unit -> (string * string) list) ->
   ?clock_ns:(unit -> int64) ->
   metrics:Metrics.t ->
@@ -40,6 +41,12 @@ val create :
     (default 64; [Invalid_argument] when < 1).  [sim_jobs] fixes the
     domain count used for [simulate] fan-out (default: the
     {!Suu_sim.Parallel} default, i.e. [SUU_JOBS] or the core count).
+    [solver] selects the LP backend every policy this service builds
+    will use (default: the library default,
+    {!Suu_core.Solver_choice.default}; servers pass their resolved
+    choice — see the [solver] field of {!Server.config}).  It
+    participates in plan identity,
+    so services configured differently never share cached plans.
     [extra_stats] is appended to [stats] replies (the server adds queue
     depth and worker count).  [clock_ns] is the monotonic clock used
     for deadline checks (default {!Suu_obs.Clock.now_ns}; injectable so

@@ -208,6 +208,102 @@ let prop_lp1_mwu_close_to_simplex =
       && approx.Lp1.value <= (1.55 *. exact.Lp1.value) +. 1e-6
       && approx.Lp1.value >= exact.Lp1.value -. 1e-6)
 
+let prop_lp1_warm_doubling =
+  QCheck.Test.make ~count:40
+    ~name:"warm revised LP1 = simplex across doubling rounds"
+    QCheck.small_int (fun seed ->
+      (* The serve path re-solves LP1 for targets L_1, L_2, ... with
+         the same survivor set, warm-starting each round from the
+         previous round's optimal basis.  The warm chain must agree
+         with a cold dense solve at every round to 1e-9. *)
+      let inst = random_instance seed in
+      let n = Instance.n inst in
+      let jobs = Array.init n Fun.id in
+      let k_max = Mathx.rounds_k ~n ~m:(Instance.m inst) in
+      let ok = ref true in
+      let basis = ref None in
+      for k = 1 to k_max do
+        let target = Mathx.target_for_round k in
+        let warm =
+          Lp1.solve ~solver:Suu_core.Solver_choice.Revised ?basis:!basis inst
+            ~jobs ~target
+        in
+        let cold = Lp1.solve inst ~jobs ~target in
+        if
+          Float.abs (warm.Lp1.value -. cold.Lp1.value)
+          > 1e-9 *. Float.max 1.0 cold.Lp1.value
+          || not (lp1_feasible inst target warm)
+        then ok := false;
+        if warm.Lp1.basis = None then ok := false;
+        basis := warm.Lp1.basis
+      done;
+      !ok)
+
+let counter_get name = Suu_obs.Counter.get (Suu_obs.Registry.counter name)
+
+let test_lp1_mwu_cert_fallback () =
+  (* A gap limit of 1.0 demands value <= lower_bound: MWU's certificate
+     can essentially never clear it, so the solve must fall back to
+     simplex — bit-identical to a direct simplex solve — and count the
+     rejection. *)
+  let inst = random_instance 42 in
+  let n = Instance.n inst in
+  Alcotest.(check bool) "instance is not tiny" true
+    (Instance.m inst * n > 16);
+  let jobs = Array.init n Fun.id in
+  let before = counter_get "lp1.mwu.fallback.cert" in
+  let via_mwu =
+    Lp1.solve
+      ~solver:(Suu_core.Solver_choice.Mwu 0.1)
+      ~mwu_gap_limit:1.0 inst ~jobs ~target:0.5
+  in
+  let direct = Lp1.solve inst ~jobs ~target:0.5 in
+  Alcotest.(check bool) "fallback counted" true
+    (counter_get "lp1.mwu.fallback.cert" > before);
+  Alcotest.(check (float 0.0)) "value identical to simplex"
+    direct.Lp1.value via_mwu.Lp1.value;
+  Alcotest.(check bool) "assignment identical to simplex" true
+    (via_mwu.Lp1.x = direct.Lp1.x)
+
+let test_lp1_mwu_tiny_fallback () =
+  (* m * |jobs| <= 16: MWU's per-phase machinery costs more than an
+     exact dense solve, so tiny instances route to simplex. *)
+  let rng = Suu_prng.Rng.create ~seed:7 in
+  let q =
+    Array.init 2 (fun _ ->
+        Array.init 4 (fun _ -> Suu_prng.Rng.range rng ~lo:0.1 ~hi:0.9))
+  in
+  let inst = Instance.make ~dag:(Dag.empty 4) q in
+  let jobs = Array.init 4 Fun.id in
+  let before = counter_get "lp1.mwu.fallback.tiny" in
+  let via_mwu =
+    Lp1.solve ~solver:(Suu_core.Solver_choice.Mwu 0.1) inst ~jobs ~target:1.0
+  in
+  let direct = Lp1.solve inst ~jobs ~target:1.0 in
+  Alcotest.(check bool) "tiny fallback counted" true
+    (counter_get "lp1.mwu.fallback.tiny" > before);
+  Alcotest.(check bool) "identical to simplex" true
+    (via_mwu.Lp1.x = direct.Lp1.x && via_mwu.Lp1.value = direct.Lp1.value)
+
+let test_solver_choice_strings () =
+  let module SC = Suu_core.Solver_choice in
+  let roundtrip t =
+    match SC.of_string (SC.to_string t) with
+    | Ok t' -> Alcotest.(check string) "round-trip" (SC.name t) (SC.name t')
+    | Error e -> Alcotest.failf "round-trip failed: %s" e
+  in
+  List.iter roundtrip [ SC.Simplex; SC.Revised; SC.Mwu 0.1; SC.Mwu 0.25 ];
+  Alcotest.(check bool) "bare mwu is the serve default" true
+    (SC.of_string "mwu" = Ok SC.serve_default);
+  List.iter
+    (fun s ->
+      match SC.of_string s with
+      | Ok _ -> Alcotest.failf "%S should be rejected" s
+      | Error _ -> ())
+    [ ""; "mwu-0"; "mwu-0.9"; "mwu-"; "mwu-x"; "newton" ];
+  checkf "simplex guarantee" 1.0 (SC.guarantee SC.Simplex);
+  checkf "mwu guarantee" 1.5 (SC.guarantee (SC.Mwu 0.1))
+
 (* Lemma 2's exact postconditions: clipped mass >= L per job, machine load
    <= ceil(6 t_star). *)
 let rounding_postconditions inst target =
@@ -823,6 +919,12 @@ let () =
           Alcotest.test_case "certain machines (q=0)" `Quick
             test_lp1_with_certain_machines;
           Alcotest.test_case "subset" `Quick test_lp1_subset;
+          Alcotest.test_case "mwu cert fallback" `Quick
+            test_lp1_mwu_cert_fallback;
+          Alcotest.test_case "mwu tiny fallback" `Quick
+            test_lp1_mwu_tiny_fallback;
+          Alcotest.test_case "solver-choice strings" `Quick
+            test_solver_choice_strings;
         ] );
       ( "lp2",
         [
@@ -867,6 +969,7 @@ let () =
         [
           q prop_lp1_feasible;
           q prop_lp1_mwu_close_to_simplex;
+          q prop_lp1_warm_doubling;
           q prop_rounding_lemma2;
           q prop_rounding_lemma2_big_targets;
           q prop_rounding_with_job_cap;

@@ -208,6 +208,55 @@ let test_plan_cache_eviction () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression for the serve-bench miss storm: the old cache evicted in
+   insertion order, so the {e hottest} entries (inserted first, hit on
+   every subsequent request) were exactly the ones dropped when churn
+   filled the table.  Eviction must be recency-based: a key touched
+   between churn batches survives a churn of more than [capacity]
+   distinct cold keys. *)
+let test_plan_cache_lru_keeps_hot_keys () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:16 ~m:3 ~seed:27 in
+  let cache = PC.create ~max_entries:8 inst in
+  let hot = [| 0; 1 |] in
+  ignore (PC.plan cache ~round:1 ~survivors:hot);
+  (* Churn 12 > capacity distinct cold keys, touching the hot key
+     between batches the way the serve path re-requests round-1 plans
+     on every replication. *)
+  for j = 2 to 13 do
+    ignore (PC.plan cache ~round:1 ~survivors:[| j |]);
+    if j mod 3 = 0 then ignore (PC.plan cache ~round:1 ~survivors:hot)
+  done;
+  let before = (PC.stats cache).PC.hits in
+  ignore (PC.plan cache ~round:1 ~survivors:hot);
+  Alcotest.(check int) "hot key still resident after churn" (before + 1)
+    (PC.stats cache).PC.hits;
+  Alcotest.(check bool) "evictions did happen" true
+    ((PC.stats cache).PC.evictions > 0)
+
+(* Two handles onto the same (instance, solver) share the process-wide
+   store: work done through one is a hit through the other.  This is
+   the fix for the old per-policy caches re-solving identical LPs. *)
+let test_plan_cache_global_sharing () =
+  let module PC = Suu_core.Plan_cache in
+  let inst = W.independent uniform ~n:9 ~m:3 ~seed:28 in
+  let a = PC.create inst in
+  let b = PC.create inst in
+  let survivors = [| 0; 2; 4; 6 |] in
+  let pa = PC.plan a ~round:2 ~survivors in
+  let pb = PC.plan b ~round:2 ~survivors in
+  Alcotest.(check bool) "handles share the physical plan" true (pa == pb);
+  Alcotest.(check int) "first handle missed" 1 (PC.stats a).PC.misses;
+  Alcotest.(check int) "second handle hit" 1 (PC.stats b).PC.hits;
+  Alcotest.(check bool) "hit_rate reflects per-handle traffic" true
+    (PC.hit_rate (PC.stats b) = 1.0 && PC.hit_rate (PC.stats a) = 0.0);
+  (* A different solver must not share plans: solver is plan identity. *)
+  let c = PC.create ~solver:Suu_core.Solver_choice.Revised inst in
+  let pc = PC.plan c ~round:2 ~survivors in
+  Alcotest.(check int) "different solver misses" 1 (PC.stats c).PC.misses;
+  Alcotest.(check bool) "but computes an equivalent plan" true
+    (plans_equal pa pc)
+
 let test_sem_beats_obl_near_one () =
   (* The doubling rounds should not lose to plain repetition on hazard
      rates near 1 (where repetitions pile up). *)
@@ -535,6 +584,10 @@ let () =
           Alcotest.test_case "key isolation" `Quick
             test_plan_cache_key_isolation;
           Alcotest.test_case "eviction" `Quick test_plan_cache_eviction;
+          Alcotest.test_case "LRU keeps hot keys" `Quick
+            test_plan_cache_lru_keeps_hot_keys;
+          Alcotest.test_case "global sharing" `Quick
+            test_plan_cache_global_sharing;
         ] );
       ( "baselines",
         [

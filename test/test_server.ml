@@ -632,6 +632,40 @@ let test_e2e_graceful_shutdown_drains () =
            message)
   | _ -> Alcotest.fail "no response before shutdown completed"
 
+let test_e2e_solver_parity_and_stats () =
+  (* On a tiny instance (m * n <= 16) certified MWU falls back to the
+     same deterministic simplex solve, so an mwu server and a simplex
+     server must answer plan/simulate byte-identically.  Also checks
+     the stats reply advertises the configured solver and the
+     plan-cache hit rates (satellite: observable hit rates). *)
+  let inst = W.independent uniform ~n:4 ~m:4 ~seed:19 in
+  let run solver =
+    let config = { Server.default_config with solver = Some solver } in
+    with_server ~config (fun server ->
+        with_client server (fun c ->
+            let pl = Client.plan c ~policy:"suu-i-sem" ~seed:5 inst in
+            let pl2 = Client.plan c ~policy:"suu-i-sem" ~seed:5 inst in
+            let sim =
+              Client.simulate c ~policy:"suu-i-obl" ~reps:8 ~seed:6 inst
+            in
+            let st = Client.stats c () in
+            Alcotest.(check bool) "plan replies are deterministic" true
+              (pl = pl2);
+            Alcotest.(check string) "stats names the solver"
+              (Suu_core.Solver_choice.name solver)
+              (field st "solver");
+            Alcotest.(check bool) "global hit rate exposed" true
+              (List.mem_assoc "plan_cache_hit_rate" st);
+            Alcotest.(check bool) "per-shard hit rates exposed" true
+              (List.mem_assoc "plan_cache_shard0_hit_rate" st);
+            (pl, sim)))
+  in
+  let mwu = run (Suu_core.Solver_choice.Mwu 0.1) in
+  let simplex = run Suu_core.Solver_choice.Simplex in
+  Alcotest.(check bool)
+    "mwu and simplex servers answer byte-identically on tiny instances"
+    true (mwu = simplex)
+
 let () =
   Alcotest.run "server"
     [
@@ -685,5 +719,7 @@ let () =
             test_e2e_deterministic_across_pools;
           Alcotest.test_case "graceful shutdown drains" `Quick
             test_e2e_graceful_shutdown_drains;
+          Alcotest.test_case "solver parity and stats" `Quick
+            test_e2e_solver_parity_and_stats;
         ] );
     ]
