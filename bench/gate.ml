@@ -199,7 +199,68 @@ let regression current_path baseline_path =
       | Some r when r > 0.0 -> okf "clients retried %.0f times" r
       | Some _ -> failf "chaos run saw no client retries (faults inert?)"
       | None -> failf "client_retries missing from current results");
-      check "chaos throughput" ~better:`Higher cur base [ "throughput_rps" ]
+      check "chaos throughput" ~better:`Higher cur base [ "throughput_rps" ];
+      (* Scale-out failover rides the same correctness bar: the router
+         section comes from `bench chaos --router` (a shard killed
+         mid-load behind the router) and must show a clean mark-down
+         plus zero lost requests.  A null section means the scenario
+         never ran, which would make the claim vacuous. *)
+      (match get_num cur [ "router"; "success_rate" ] with
+      | Some r when r >= 1.0 ->
+          okf "router chaos success rate %.6g (must be 1)" r
+      | Some r ->
+          failf "router chaos success rate %.6g: requests lost during \
+                 shard kill" r
+      | None ->
+          failf "router section missing from chaos results (run bench \
+                 chaos with --router)");
+      (match get_num cur [ "router"; "mark_down" ] with
+      | Some m when m >= 1.0 ->
+          okf "router marked the killed shard down (%.0f mark-down)" m
+      | Some _ -> failf "router never marked the killed shard down"
+      | None -> failf "router.mark_down missing from chaos results");
+      (match get_num cur [ "router"; "live_shards_after" ] with
+      | Some l when l >= 1.0 ->
+          okf "router kept %.0f live shard(s) after the kill" l
+      | Some _ -> failf "router reports no live shards after the kill"
+      | None -> failf "router.live_shards_after missing from chaos results")
+  | "shard" ->
+      (* Byte identity is the sharding contract: a routed response must
+         be indistinguishable from the single server's, for every
+         request type over every sweep instance. *)
+      (match J.to_bool (J.path [ "byte_identical" ] cur) with
+      | Some true -> okf "shard routed responses byte-identical to direct"
+      | Some false -> failf "shard routed responses differ from direct server"
+      | None -> failf "byte_identical missing from current results");
+      (match get_num cur [ "errors" ] with
+      | Some 0.0 -> okf "shard bench saw no error responses"
+      | Some e -> failf "shard bench saw %.0f error responses" e
+      | None -> failf "errors missing from current results");
+      (match get_num cur [ "routed_requests" ] with
+      | Some r when r > 0.0 -> okf "router routed %.0f requests" r
+      | Some _ -> failf "router routed nothing (load bypassed it?)"
+      | None -> failf "routed_requests missing from current results");
+      (* Proxy overhead is a within-run ratio, immune to runner speed.
+         Full scale holds the 15%% acceptance bound; tiny requests are
+         cheap enough that the hop looms larger, so the floor is
+         looser there. *)
+      let floor =
+        match J.to_string (J.member "scale" cur) with
+        | Some "tiny" -> 0.6
+        | _ -> 0.85
+      in
+      (match get_num cur [ "routed_vs_direct" ] with
+      | Some r when r >= floor ->
+          okf "routed-1 throughput at %.1f%% of direct (floor %.0f%%)"
+            (100.0 *. r) (100.0 *. floor)
+      | Some r ->
+          failf "routed-1 throughput only %.1f%% of direct (floor %.0f%%)"
+            (100.0 *. r) (100.0 *. floor)
+      | None -> failf "routed_vs_direct missing from current results");
+      check "shard direct throughput" ~better:`Higher cur base
+        [ "direct_rps" ];
+      check "shard routed-2 throughput" ~better:`Higher cur base
+        [ "routed_2shard_rps" ]
   | "replay" ->
       (* The store's value is correctness-gated, not tolerance-gated:
          memoized, warm and kill-resumed sweeps must be byte-identical

@@ -1255,6 +1255,173 @@ let serve_bench () =
    lost request under these fault rates means the retry logic, not the
    network, is broken. *)
 
+(* chaos --router: two in-process shards behind a router; the shard
+   owning the first pool instance's keys is stopped mid-load.  The
+   router must mark it down, re-route its keyspace, and every client
+   request must still complete — the scale-out analogue of the
+   single-server retry claim below.  Returns the JSON object embedded
+   as BENCH_chaos.json's "router" section. *)
+let chaos_router_run () =
+  let module Server = Suu_server.Server in
+  let module Client = Suu_server.Client in
+  let module Router = Suu_router.Router in
+  let module Ring = Suu_router.Ring in
+  let module P = Suu_server.Protocol in
+  note "";
+  section "chaos --router: shard kill mid-load behind the router";
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let clients = if tiny then 4 else 8 in
+  let per_client = if tiny then 25 else 100 in
+  let sim_reps = if tiny then 8 else 32 in
+  let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let pool =
+    [|
+      W.independent uniform ~n:12 ~m:4 ~seed:31;
+      W.random_chains uniform ~n:12 ~z:3 ~m:4 ~seed:32;
+      W.forest uniform ~n:12 ~trees:2 ~orientation:`Mixed ~m:4 ~seed:33;
+    |]
+  in
+  let pick_body rng =
+    let inst = pool.(Suu_prng.Rng.int rng (Array.length pool)) in
+    let roll = Suu_prng.Rng.int rng 100 in
+    if roll < 35 then
+      P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = roll }
+    else if roll < 60 then P.Plan { inst; policy = "auto"; seed = roll }
+    else if roll < 85 then P.Describe inst
+    else P.Lower_bound inst
+  in
+  let config = { Server.default_config with workers = 4; queue_capacity = 32 } in
+  let s1 = Server.start ~config () in
+  let s2 = Server.start ~config () in
+  let spec s =
+    let port = Server.port s in
+    { Router.id = Printf.sprintf "127.0.0.1:%d" port; host = "127.0.0.1";
+      port; child = None; respawn = None }
+  in
+  let specs = [ spec s1; spec s2 ] in
+  let router =
+    Router.start
+      ~config:
+        { Router.default_config with health_interval_ms = 100;
+          timeout_ms = 2_000; retries = 1 }
+      ~shards:specs ()
+  in
+  (* Kill the shard that owns the first pool instance's digest, so the
+     victim is guaranteed to own live keys and re-routing is actually
+     exercised. *)
+  let victim, victim_id =
+    let ring = Ring.create (List.map (fun (sp : Router.shard_spec) -> sp.id) specs) in
+    let digest =
+      match P.instance_digest (P.Describe pool.(0)) with
+      | Some d -> d
+      | None -> assert false
+    in
+    match Ring.route ring ~live:(fun _ -> true) digest with
+    | Some id when id = (List.nth specs 0).id -> (s1, id)
+    | Some id -> (s2, id)
+    | None -> assert false
+  in
+  let tracked =
+    [ "router.route"; "router.failover"; "router.health.mark_down";
+      "router.health.mark_up" ]
+  in
+  let sample () =
+    List.map
+      (fun n -> (n, Suu_obs.Counter.get (Suu_obs.Registry.counter n)))
+      tracked
+  in
+  let before = sample () in
+  let total = clients * per_client in
+  let progress = Atomic.make 0 in
+  let killer =
+    Thread.create
+      (fun () ->
+        (* a third of the way through the load, the shard dies *)
+        while Atomic.get progress < total / 3 do
+          Thread.delay 0.005
+        done;
+        note "killing shard %s at %d/%d requests" victim_id
+          (Atomic.get progress) total;
+        Server.stop victim)
+      ()
+  in
+  let port = Router.port router in
+  let t0 = Unix.gettimeofday () in
+  let slots = Array.make clients (0, 0) in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Suu_prng.Rng.create ~seed:(9200 + i) in
+            let c =
+              Client.connect ~port ~retries:8 ~timeout_ms:2_000 ~backoff_ms:5
+                ~retry_seed:(7200 + i) ()
+            in
+            let done_ = ref 0 and failed = ref 0 in
+            for _ = 1 to per_client do
+              (match Client.call c (pick_body rng) with
+              | P.Ok _ -> incr done_
+              | P.Err _ -> incr failed
+              | exception (Client.Protocol_failure _ | Unix.Unix_error _) ->
+                  incr failed);
+              Atomic.incr progress
+            done;
+            Client.close c;
+            slots.(i) <- (!done_, !failed))
+          ())
+  in
+  List.iter Thread.join threads;
+  Thread.join killer;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* settle health state before reading it *)
+  Router.check_health router;
+  let live = List.length (Router.live_shards router) in
+  let after = sample () in
+  let delta n = List.assoc n after - List.assoc n before in
+  Router.stop router;
+  Server.stop s1;
+  Server.stop s2;
+  let completed = Array.fold_left (fun a (d, _) -> a + d) 0 slots in
+  let failed = Array.fold_left (fun a (_, f) -> a + f) 0 slots in
+  let success_rate = float_of_int completed /. float_of_int total in
+  note "router chaos: %d/%d completed (%.1f%%) wall=%.2fs" completed total
+    (100.0 *. success_rate) wall;
+  note "router: routed=%d failovers=%d mark_down=%d mark_up=%d live=%d/2"
+    (delta "router.route") (delta "router.failover")
+    (delta "router.health.mark_down")
+    (delta "router.health.mark_up") live;
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "    \"shards\": 2,\n";
+  bpf "    \"killed_shard\": \"%s\",\n" victim_id;
+  bpf "    \"requests\": %d,\n" total;
+  bpf "    \"completed\": %d,\n" completed;
+  bpf "    \"failed\": %d,\n" failed;
+  bpf "    \"success_rate\": %.6g,\n" success_rate;
+  bpf "    \"routed\": %d,\n" (delta "router.route");
+  bpf "    \"failovers\": %d,\n" (delta "router.failover");
+  bpf "    \"mark_down\": %d,\n" (delta "router.health.mark_down");
+  bpf "    \"live_shards_after\": %d\n" live;
+  bpf "  }";
+  if delta "router.health.mark_down" < 1 then
+    failwith "chaos --router: the dead shard was never marked down";
+  if success_rate < 1.0 then
+    failwith
+      (Printf.sprintf
+         "chaos --router: %d of %d requests lost despite failover" failed
+         total);
+  Buffer.contents buf
+
+(* Set by the --router flag on the bench command line; the chaos
+   experiment then runs the shard-kill scenario too and embeds its
+   section in BENCH_chaos.json (the gate requires it in CI). *)
+let chaos_router_enabled = ref false
+
 let chaos_bench () =
   section "chaos: fault-injected suu-serve vs retrying clients";
   let module Server = Suu_server.Server in
@@ -1418,8 +1585,11 @@ let chaos_bench () =
   bpf "  \"client_reconnects\": %d,\n" (delta "client.reconnects");
   bpf "  \"client_giveups\": %d,\n" (delta "client.giveups");
   bpf "  \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, \
-       \"max\": %.6g}\n"
+       \"max\": %.6g},\n"
     (q 0.5) (q 0.95) (q 0.99) (q 1.0);
+  (match if !chaos_router_enabled then Some (chaos_router_run ()) else None with
+  | Some section -> bpf "  \"router\": %s\n" section
+  | None -> bpf "  \"router\": null\n");
   bpf "}\n";
   let oc = open_out "BENCH_chaos.json" in
   output_string oc (Buffer.contents buf);
@@ -1609,20 +1779,236 @@ let replay_bench () =
          warm_served warm_computed total_reps)
 
 (* ------------------------------------------------------------------ *)
+(* shard — the scale-out experiment: the same closed-loop load measured
+   against (a) a direct in-process suu-serve, (b) the router fronting
+   one shard (pure proxy overhead), and (c) the router fronting two
+   shards; then a byte-identity sweep proving every routed response is
+   identical to the unrouted server's.  All servers share this
+   process's plan cache, so a common warmup pass makes the comparison
+   about the wire path, not about who populated the cache first.
+   Writes BENCH_shard.json; the gate enforces the proxy-overhead floor
+   and byte identity. *)
+
+let shard_bench () =
+  section "shard: routed vs direct suu-serve (proxy overhead, byte identity)";
+  let module Server = Suu_server.Server in
+  let module Client = Suu_server.Client in
+  let module Router = Suu_router.Router in
+  let module P = Suu_server.Protocol in
+  let tiny =
+    match Sys.getenv_opt "SUU_PERF_SCALE" with
+    | Some "tiny" -> true
+    | _ -> false
+  in
+  let clients = if tiny then 4 else 8 in
+  let per_client = if tiny then 30 else 250 in
+  let sim_reps = if tiny then 32 else 160 in
+  let workers = 4 and queue_capacity = 64 in
+  let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+  let pool =
+    [|
+      W.independent uniform ~n:12 ~m:4 ~seed:21;
+      W.independent W.Near_one ~n:16 ~m:4 ~seed:22;
+      W.random_chains uniform ~n:12 ~z:3 ~m:4 ~seed:23;
+      W.forest uniform ~n:12 ~trees:2 ~orientation:`Mixed ~m:4 ~seed:24;
+    |]
+  in
+  (* Simulate-heavy mix: the proxy-overhead ratio is only meaningful
+     under a compute-bound load; a ping-pong mix would just measure
+     the extra hop twice. *)
+  let pick_body rng =
+    let inst = pool.(Suu_prng.Rng.int rng (Array.length pool)) in
+    let roll = Suu_prng.Rng.int rng 100 in
+    if roll < 70 then
+      P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = roll }
+    else if roll < 80 then P.Plan { inst; policy = "auto"; seed = roll }
+    else if roll < 88 then P.Describe inst
+    else if roll < 96 then P.Lower_bound inst
+    else P.Stats
+  in
+  (* One closed-loop measurement against whatever is listening on
+     [port]; returns (rps, ok, errors). *)
+  let run_load ~port =
+    let t0 = Unix.gettimeofday () in
+    let slots = Array.make clients (0, 0) in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              let rng = Suu_prng.Rng.create ~seed:(9300 + i) in
+              let c = Client.connect ~port ~retries:2 ~timeout_ms:30_000 () in
+              let ok = ref 0 and err = ref 0 in
+              for _ = 1 to per_client do
+                (match Client.call c (pick_body rng) with
+                | P.Ok _ -> incr ok
+                | P.Err _ -> incr err
+                | exception (Client.Protocol_failure _ | Unix.Unix_error _)
+                  ->
+                    incr err);
+                ()
+              done;
+              Client.close c;
+              slots.(i) <- (!ok, !err))
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let ok = Array.fold_left (fun a (k, _) -> a + k) 0 slots in
+    let err = Array.fold_left (fun a (_, e) -> a + e) 0 slots in
+    (float_of_int (clients * per_client) /. wall, ok, err)
+  in
+  let config = { Server.default_config with workers; queue_capacity } in
+  let attach_spec s =
+    let port = Server.port s in
+    { Router.id = Printf.sprintf "127.0.0.1:%d" port; host = "127.0.0.1";
+      port; child = None; respawn = None }
+  in
+  (* Warmup: populate the process-global plan cache for every pool
+     instance so neither contestant pays the cold LP solves. *)
+  let warm () =
+    let s = Server.start ~config () in
+    let c = Client.connect ~port:(Server.port s) () in
+    Array.iter
+      (fun inst ->
+        ignore (Client.plan c ~policy:"auto" ~seed:0 inst);
+        ignore (Client.simulate c ~policy:"auto" ~reps:sim_reps inst))
+      pool;
+    Client.close c;
+    Server.stop s
+  in
+  warm ();
+  (* (a) direct *)
+  let direct = Server.start ~config () in
+  let rps_direct, ok_d, err_d = run_load ~port:(Server.port direct) in
+  Server.stop direct;
+  note "direct:   %.1f req/s (ok=%d err=%d)" rps_direct ok_d err_d;
+  (* (b) routed, one shard: the pure cost of the extra hop *)
+  let c_route = Suu_obs.Registry.counter "router.route" in
+  let route_before = Suu_obs.Counter.get c_route in
+  let s1 = Server.start ~config () in
+  let r1 = Router.start ~shards:[ attach_spec s1 ] () in
+  let rps_routed1, ok_r1, err_r1 = run_load ~port:(Router.port r1) in
+  Router.stop r1;
+  Server.stop s1;
+  note "routed-1: %.1f req/s (ok=%d err=%d)" rps_routed1 ok_r1 err_r1;
+  (* (c) routed, two shards *)
+  let sa = Server.start ~config () in
+  let sb = Server.start ~config () in
+  let r2 = Router.start ~shards:[ attach_spec sa; attach_spec sb ] () in
+  let rps_routed2, ok_r2, err_r2 = run_load ~port:(Router.port r2) in
+  let routed_requests =
+    Suu_obs.Counter.get c_route - route_before
+  in
+  Router.stop r2;
+  Server.stop sa;
+  Server.stop sb;
+  note "routed-2: %.1f req/s (ok=%d err=%d)" rps_routed2 ok_r2 err_r2;
+  let ratio1 = rps_routed1 /. rps_direct in
+  note "proxy overhead: routed-1 at %.1f%% of direct" (100.0 *. ratio1);
+  (* Byte-identity sweep: every request type over every pool instance,
+     raw frames compared between a direct server and the 2-shard
+     router.  [stats] is excluded — a merged cluster view is not a
+     single server's view by design. *)
+  let raw_call ~port payload =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        ignore (Unix.write_substring fd payload 0 (String.length payload));
+        let buf = Buffer.create 512 in
+        let chunk = Bytes.create 4096 in
+        let rec go () =
+          let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if got > 0 then begin
+            Buffer.add_subbytes buf chunk 0 got;
+            let s = Buffer.contents buf in
+            if
+              String.length s >= 5
+              && String.sub s (String.length s - 5) 5 = "done\n"
+            then s
+            else go ()
+          end
+          else Buffer.contents buf
+        in
+        go ())
+  in
+  let sweep_requests =
+    List.concat_map
+      (fun inst ->
+        List.map
+          (fun body -> P.request_to_string { P.id = None; deadline_ms = None; body })
+          [ P.Describe inst; P.Lower_bound inst;
+            P.Plan { inst; policy = "auto"; seed = 3 };
+            P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = 9 } ])
+      (Array.to_list pool)
+  in
+  let direct = Server.start ~config () in
+  let sa = Server.start ~config () in
+  let sb = Server.start ~config () in
+  let r = Router.start ~shards:[ attach_spec sa; attach_spec sb ] () in
+  let mismatches =
+    List.fold_left
+      (fun acc req ->
+        let d = raw_call ~port:(Server.port direct) req in
+        let v = raw_call ~port:(Router.port r) req in
+        if String.equal d v then acc else acc + 1)
+      0 sweep_requests
+  in
+  Router.stop r;
+  Server.stop sa;
+  Server.stop sb;
+  Server.stop direct;
+  let byte_identical = mismatches = 0 in
+  note "byte identity: %d/%d routed responses identical to direct%s"
+    (List.length sweep_requests - mismatches)
+    (List.length sweep_requests)
+    (if byte_identical then "" else "  << MISMATCH");
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"experiment\": \"shard\",\n";
+  bpf "  \"scale\": \"%s\",\n" (if tiny then "tiny" else "full");
+  bpf "  \"config\": {\"clients\": %d, \"per_client\": %d, \"workers\": %d, \
+       \"queue_capacity\": %d, \"sim_reps\": %d},\n"
+    clients per_client workers queue_capacity sim_reps;
+  bpf "  \"direct_rps\": %.6g,\n" rps_direct;
+  bpf "  \"routed_1shard_rps\": %.6g,\n" rps_routed1;
+  bpf "  \"routed_2shard_rps\": %.6g,\n" rps_routed2;
+  bpf "  \"routed_vs_direct\": %.6g,\n" ratio1;
+  bpf "  \"routed_requests\": %d,\n" routed_requests;
+  bpf "  \"errors\": %d,\n" (err_d + err_r1 + err_r2);
+  bpf "  \"sweep_requests\": %d,\n" (List.length sweep_requests);
+  bpf "  \"sweep_mismatches\": %d,\n" mismatches;
+  bpf "  \"byte_identical\": %b\n" byte_identical;
+  bpf "}\n";
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  note "\nwrote BENCH_shard.json";
+  if err_d + err_r1 + err_r2 > 0 then
+    failwith "shard bench saw error responses";
+  if not byte_identical then
+    failwith "shard bench: routed responses differ from direct server"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e1m", e1m); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("a1", a1); ("a2", a2); ("a3", a3);
     ("perf", perf); ("serve", serve_bench); ("chaos", chaos_bench);
-    ("replay", replay_bench);
+    ("replay", replay_bench); ("shard", shard_bench);
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let names = List.filter (fun a -> a <> "--router") args in
+  if List.length names < List.length args then chaos_router_enabled := true;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -386,6 +386,218 @@ let serve_cmd =
       const serve $ host_arg $ port_arg ~default:7483 $ workers $ queue
       $ deadline $ sim_jobs $ solver $ faults $ journal)
 
+(* --- router --- *)
+
+let router host port shards_n attach workers queue solver journal_dir
+    store_dir retries timeout_ms health_ms =
+  let module R = Suu_router.Router in
+  let module Spawn = Suu_router.Spawn in
+  let specs =
+    match attach with
+    | Some addrs ->
+        (* Join shards someone else runs; their address is their ring
+           identity. *)
+        List.map
+          (fun (h, p) ->
+            { R.id = Printf.sprintf "%s:%d" h p; host = h; port = p;
+              child = None; respawn = None })
+          addrs
+    | None ->
+        if shards_n < 1 then (
+          prerr_endline "suu router: --shards must be >= 1";
+          exit 1);
+        let prog = Sys.executable_name in
+        let shard_args i ~port =
+          [ "serve"; "--host"; "127.0.0.1"; "--port"; string_of_int port;
+            "--workers"; string_of_int workers; "--queue";
+            string_of_int queue ]
+          @ (match solver with
+            | Some s ->
+                [ "--solver"; Suu_core.Solver_choice.to_string s ]
+            | None -> [])
+          @
+          match journal_dir with
+          | Some dir ->
+              [ "--journal";
+                Filename.concat dir (Printf.sprintf "shard%d.journal" i) ]
+          | None -> []
+        in
+        let shard_env i =
+          match store_dir with
+          | Some dir ->
+              [ ("SUU_STORE",
+                 Filename.concat dir (Printf.sprintf "shard%d.store" i)) ]
+          | None -> []
+        in
+        (match journal_dir with
+        | Some dir -> (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+        | None -> ());
+        (match store_dir with
+        | Some dir -> (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+        | None -> ());
+        let spawned = ref [] in
+        let fail msg =
+          List.iter (fun (_, c, _) -> Spawn.terminate c) !spawned;
+          prerr_endline ("suu router: " ^ msg);
+          exit 1
+        in
+        List.init shards_n (fun i ->
+            let id = Printf.sprintf "shard%d" i in
+            let child =
+              Spawn.spawn ~extra_env:(shard_env i) ~prog
+                ~args:(shard_args i ~port:0) ()
+            in
+            match Spawn.wait_ready child with
+            | Result.Error msg ->
+                fail (Printf.sprintf "%s failed to start: %s" id msg)
+            | Result.Ok (h, p) ->
+                spawned := (id, child, p) :: !spawned;
+                (* Parseable by scripts/wait_ready.sh: the pid is what
+                   the chaos smoke kill -9s. *)
+                Printf.printf "suu-router: %s ready at %s:%d (pid %d)\n%!"
+                  id h p (Spawn.pid child);
+                { R.id; host = h; port = p; child = Some child;
+                  respawn =
+                    (* Respawn on the SAME port with the same journal
+                       and store: the replacement warm-starts as the
+                       same ring member. *)
+                    Some
+                      (fun () ->
+                        Spawn.spawn ~extra_env:(shard_env i) ~prog
+                          ~args:(shard_args i ~port:p) ()) })
+  in
+  R.run
+    ~config:
+      {
+        R.default_config with
+        host;
+        port;
+        retries;
+        timeout_ms;
+        health_interval_ms = health_ms;
+      }
+    ~shards:specs ()
+
+let router_cmd =
+  let doc =
+    "Run the sharding coordinator: consistent-hash requests by instance \
+     digest across N suu-serve shards."
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Spawn $(docv) suu-serve shard processes on ephemeral ports \
+             and manage their lifecycle (health checks, respawn on \
+             crash).")
+  in
+  let attach_conv =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let parse_one part =
+        match String.rindex_opt part ':' with
+        | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" part))
+        | Some i -> (
+            let h = String.sub part 0 i in
+            let ps = String.sub part (i + 1) (String.length part - i - 1) in
+            match int_of_string_opt ps with
+            | Some p when p > 0 && p < 65536 && h <> "" -> Ok (h, p)
+            | _ -> Error (`Msg (Printf.sprintf "bad port in %S" part)))
+      in
+      List.fold_left
+        (fun acc part ->
+          match (acc, parse_one part) with
+          | Error e, _ -> Error e
+          | _, Error e -> Error e
+          | Ok l, Ok hp -> Ok (l @ [ hp ]))
+        (Ok []) parts
+    in
+    Arg.conv
+      ( parse,
+        fun ppf l ->
+          Format.pp_print_string ppf
+            (String.concat ","
+               (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) l)) )
+  in
+  let attach =
+    Arg.(
+      value
+      & opt (some attach_conv) None
+      & info [ "attach" ] ~docv:"HOST:PORT,..."
+          ~doc:
+            "Route to already-running shards instead of spawning any; \
+             their addresses are their ring identities.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"K" ~doc:"Worker threads per shard.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"Q" ~doc:"Request-queue capacity per shard.")
+  in
+  let solver_conv =
+    let parse s =
+      match Suu_core.Solver_choice.of_string s with
+      | Result.Ok c -> Ok c
+      | Result.Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun ppf c ->
+        Format.pp_print_string ppf (Suu_core.Solver_choice.to_string c))
+  in
+  let solver =
+    Arg.(
+      value
+      & opt (some solver_conv) None
+      & info [ "solver" ] ~docv:"NAME"
+          ~doc:"LP backend forwarded to every spawned shard.")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Per-shard write-ahead journals $(docv)/shardI.journal; a \
+             respawned shard warm-starts from its own journal.")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "Per-shard SUU_STORE result stores $(docv)/shardI.store, so \
+             digest affinity keeps each store shard-local.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Retries per forwarded request within one shard.")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-attempt shard response timeout.")
+  in
+  let health =
+    Arg.(
+      value & opt int 500
+      & info [ "health-interval-ms" ] ~docv:"MS"
+          ~doc:"Interval between shard health probes.")
+  in
+  Cmd.v
+    (Cmd.info "router" ~doc)
+    Term.(
+      const router $ host_arg $ port_arg ~default:7490 $ shards $ attach
+      $ workers $ queue $ solver $ journal_dir $ store_dir $ retries
+      $ timeout $ health)
+
 (* --- replay --- *)
 
 let replay path sim_jobs verbose =
@@ -634,5 +846,5 @@ let () =
        (Cmd.group info
           [
             describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd;
-            serve_cmd; client_cmd; replay_cmd; store_cmd;
+            serve_cmd; router_cmd; client_cmd; replay_cmd; store_cmd;
           ]))

@@ -87,6 +87,51 @@ let snapshot t =
 let mean snap =
   if snap.count = 0 then 0.0 else snap.sum /. float_of_int snap.count
 
+(* Merging is exact because bucket layouts are fixed at creation: two
+   snapshots with the same number of buckets came from histograms with
+   the same bounds (all registry histograms use [default_bounds]), so
+   adding counts bucket-wise is the same as having recorded every value
+   into one histogram. *)
+let merge a b =
+  if Array.length a.buckets <> Array.length b.buckets then
+    invalid_arg "Histogram.merge: bucket layouts differ";
+  { count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    buckets = Array.init (Array.length a.buckets)
+        (fun i -> a.buckets.(i) + b.buckets.(i));
+    max = Float.max a.max b.max }
+
+(* Wire codec for snapshots: "<count> <sum> <max> <b0> ... <bn>" with
+   %.17g floats so a decode(encode(s)) round-trip is exact.  Used by the
+   router to merge per-shard histograms without losing bucket counts to
+   the quantile rendering. *)
+let raw_of_snapshot s =
+  let buf = Buffer.create (16 * (Array.length s.buckets + 3)) in
+  Buffer.add_string buf (string_of_int s.count);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Printf.sprintf "%.17g" s.sum);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Printf.sprintf "%.17g" s.max);
+  Array.iter
+    (fun b ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int b))
+    s.buckets;
+  Buffer.contents buf
+
+let snapshot_of_raw line =
+  match String.split_on_char ' ' (String.trim line) with
+  | count :: sum :: vmax :: buckets when buckets <> [] -> (
+      try
+        let count = int_of_string count in
+        let sum = float_of_string sum in
+        let max = float_of_string vmax in
+        let buckets = Array.of_list (List.map int_of_string buckets) in
+        if count < 0 || Array.exists (fun b -> b < 0) buckets then None
+        else Some { count; sum; buckets; max }
+      with Failure _ -> None)
+  | _ -> None
+
 let quantile t snap p =
   if p < 0.0 || p > 1.0 || Float.is_nan p then
     invalid_arg "Histogram.quantile: p must be in [0, 1]";

@@ -70,3 +70,20 @@ val quantile : t -> snapshot -> float -> float
 
 val mean : snapshot -> float
 (** [sum /. count], [0.] when empty. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Bucket-wise exact sum of two snapshots with the same bucket layout
+    (counts and sums add, max takes the larger).  Because bounds are
+    fixed at creation, merging snapshots from different processes with
+    the same layout is exact — the merged quantiles are what one
+    histogram would have reported had it recorded every value.
+    Raises [Invalid_argument] when the bucket arrays differ in length. *)
+
+val raw_of_snapshot : snapshot -> string
+(** One-line wire form ["<count> <sum> <max> <b0> ... <bn>"] with
+    [%.17g] floats, so [snapshot_of_raw (raw_of_snapshot s)] is exact.
+    Lets a router merge per-shard histograms losslessly. *)
+
+val snapshot_of_raw : string -> snapshot option
+(** Inverse of {!raw_of_snapshot}; [None] on malformed input (wrong
+    field count, non-numeric, or negative counts). *)

@@ -69,7 +69,11 @@ let render ?(prefix = "obs.") () =
         [ (base ^ ".count", string_of_int snap.Histogram.count);
           (base ^ ".mean_ms", ms (Histogram.mean snap));
           (base ^ ".p50_ms", q 0.5); (base ^ ".p95_ms", q 0.95);
-          (base ^ ".p99_ms", q 0.99) ])
+          (base ^ ".p99_ms", q 0.99);
+          (* Exact bucket counts so a downstream aggregator (the
+             router's stats fan-out) can merge histograms losslessly
+             instead of averaging pre-rendered quantiles. *)
+          (base ^ ".raw", Histogram.raw_of_snapshot snap) ])
       histograms
 
 let enabled_flag =

@@ -52,8 +52,10 @@ val snapshot : unit -> snapshot
 val render : ?prefix:string -> unit -> (string * string) list
 (** Flatten a snapshot for text transport: each counter as
     [<prefix>counter.<name>], each histogram as
-    [<prefix>phase.<name>.{count,mean_ms,p50_ms,p95_ms,p99_ms}]
-    (quantiles in milliseconds, [%.3f]).  Default prefix ["obs."]. *)
+    [<prefix>phase.<name>.{count,mean_ms,p50_ms,p95_ms,p99_ms,raw}]
+    (quantiles in milliseconds, [%.3f]; [raw] is
+    {!Histogram.raw_of_snapshot} for lossless downstream merging).
+    Default prefix ["obs."]. *)
 
 val set_enabled : bool -> unit
 (** Master switch consulted by {!Span}; on by default, overridable at

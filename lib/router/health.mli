@@ -1,0 +1,41 @@
+(** Periodic shard health checks with mark-down/mark-up hysteresis.
+
+    A background thread probes every shard each [interval_ms]; a shard
+    is marked down after [fail_threshold] consecutive failures and back
+    up on the first success.  Transitions bump
+    [router.health.mark_down] / [router.health.mark_up] (probes bump
+    [router.health.checks]) and invoke [on_change] outside the internal
+    lock.  The proxy path calls {!force_down} the moment a forward
+    fails, so re-routing does not wait for the next probe tick. *)
+
+type t
+
+val create :
+  ?fail_threshold:int ->
+  interval_ms:int ->
+  shards:string list ->
+  probe:(string -> bool) ->
+  on_change:(string -> bool -> unit) ->
+  unit ->
+  t
+(** All shards start live.  [probe id] should be a cheap round-trip
+    (the router sends [stats] with a short timeout); exceptions count
+    as failure.  [on_change id up] fires on every transition. *)
+
+val start : t -> unit
+(** Start the probe thread (idempotent). *)
+
+val stop : t -> unit
+(** Stop and join the probe thread. *)
+
+val is_live : t -> string -> bool
+(** Raises [Invalid_argument] for an unknown id. *)
+
+val live_ids : t -> string list
+
+val force_down : t -> string -> unit
+(** Immediate mark-down (no-op when already down). *)
+
+val check_all : t -> unit
+(** Run one synchronous probe round — tests and the bench use this to
+    make transitions deterministic instead of racing the timer. *)

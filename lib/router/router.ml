@@ -1,0 +1,451 @@
+(* The suu-router coordinator: accepts the v1 wire protocol unchanged,
+   hashes each request's instance digest onto the rendezvous ring, and
+   proxies to the owning shard over pooled retrying clients.
+
+   Determinism argument, end to end: the digest is the canonical
+   Instance_io rendering (Protocol.instance_digest), placement is a
+   pure function of (shard id, digest) (Ring), every shard runs the
+   same deterministic service, and the proxy re-serializes responses
+   through the same canonical printer the server uses — so a routed
+   reply is byte-identical to an unrouted one, and repeated requests
+   for one instance land on one shard, whose plan cache, instance
+   cache, journal and result store stay hot for exactly that slice of
+   the keyspace. *)
+
+module P = Suu_server.Protocol
+module Client = Suu_server.Client
+module Lineio = Suu_server.Lineio
+
+let c_route = lazy (Suu_obs.Registry.counter "router.route")
+let h_route = lazy (Suu_obs.Registry.histogram "router.route")
+let c_failover = lazy (Suu_obs.Registry.counter "router.failover")
+let c_respawn = lazy (Suu_obs.Registry.counter "router.respawns")
+let c_no_shard = lazy (Suu_obs.Registry.counter "router.no_live_shard")
+
+type shard_spec = {
+  id : string;
+  host : string;
+  port : int;
+  child : Spawn.child option;
+  respawn : (unit -> Spawn.child) option;
+}
+
+type config = {
+  host : string;
+  port : int; (* 0 = ephemeral *)
+  retries : int; (* per proxied call, within one shard *)
+  timeout_ms : int; (* shard-side response timeout per attempt *)
+  backoff_ms : int;
+  pool_capacity : int;
+  health_interval_ms : int;
+  fail_threshold : int;
+  probe_timeout_ms : int;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; retries = 2; timeout_ms = 30_000;
+    backoff_ms = 25; pool_capacity = 8; health_interval_ms = 500;
+    fail_threshold = 2; probe_timeout_ms = 1_000 }
+
+type shard = {
+  sid : string;
+  shost : string;
+  sport : int;
+  pool : Pool.t;
+  mutable child : Spawn.child option;
+  srespawn : (unit -> Spawn.child) option;
+  mutable drain_t : Thread.t option;
+  mutable proxied : int;
+  plock : Mutex.t;
+}
+
+type conn = { fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  shards : shard array;
+  ring : Ring.t;
+  mutable health : Health.t option;
+  started : float;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+
+let shard_by_id t id =
+  (* Tiny arrays; linear scan is fine. *)
+  let found = ref None in
+  Array.iter (fun s -> if s.sid = id then found := Some s) t.shards;
+  match !found with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Router: unknown shard %S" id)
+
+let count_proxied s =
+  Mutex.lock s.plock;
+  s.proxied <- s.proxied + 1;
+  Mutex.unlock s.plock
+
+let proxied s =
+  Mutex.lock s.plock;
+  let n = s.proxied in
+  Mutex.unlock s.plock;
+  n
+
+let health t =
+  match t.health with Some h -> h | None -> assert false
+
+let is_live t id = Health.is_live (health t) id
+
+(* --- probing and respawn --- *)
+
+let try_respawn s =
+  match s.srespawn with
+  | None -> ()
+  | Some f -> (
+      match f () with
+      | child -> (
+          s.child <- Some child;
+          match Spawn.wait_ready child with
+          | Result.Ok _ ->
+              Suu_obs.Counter.incr (Lazy.force c_respawn);
+              s.drain_t <-
+                Some
+                  (Spawn.drain
+                     ~echo:(fun line ->
+                       Printf.eprintf "suu-router: [%s] %s\n%!" s.sid line)
+                     child);
+              Printf.eprintf "suu-router: shard %s respawned (pid %d)\n%!"
+                s.sid (Spawn.pid child)
+          | Result.Error msg ->
+              Printf.eprintf "suu-router: shard %s respawn failed: %s\n%!"
+                s.sid msg)
+      | exception e ->
+          Printf.eprintf "suu-router: shard %s respawn failed: %s\n%!" s.sid
+            (Printexc.to_string e))
+
+let probe t id =
+  let s = shard_by_id t id in
+  match s.child with
+  | Some child when not (Spawn.alive child) ->
+      (* The child is gone: re-routing is already in force (mark-down),
+         bring a warm replacement up on the same port and journal; the
+         next probe tick marks it up. *)
+      if not (Atomic.get t.stopping) then try_respawn s;
+      false
+  | _ -> (
+      match
+        Client.connect ~host:s.shost ~timeout_ms:t.cfg.probe_timeout_ms
+          ~port:s.sport ()
+      with
+      | c ->
+          Fun.protect
+            ~finally:(fun () -> try Client.close c with _ -> ())
+            (fun () ->
+              match Client.call c ~auto_id:false P.Stats with
+              | P.Ok _ -> true
+              | P.Err _ -> false)
+      | exception _ -> false)
+
+(* --- the proxy path --- *)
+
+let forward s req =
+  Pool.with_client s.pool (fun c ->
+      Client.call c ~auto_id:false ?id:req.P.id ?deadline_ms:req.P.deadline_ms
+        req.P.body)
+
+(* Walk the key's rendezvous order, skipping shards already marked
+   down; a shard that fails mid-request is marked down on the spot so
+   the ring re-routes before the next probe tick. *)
+let route_request t req digest =
+  let ranked = Ring.route_ranked t.ring digest in
+  let rec go tried = function
+    | [] ->
+        Suu_obs.Counter.incr (Lazy.force c_no_shard);
+        P.Err
+          { id = req.P.id; code = P.Internal;
+            message = "no live shard for request" }
+    | id :: rest ->
+        if not (is_live t id) then go tried rest
+        else
+          let s = shard_by_id t id in
+          if tried > 0 then Suu_obs.Counter.incr (Lazy.force c_failover);
+          (match forward s req with
+          | resp ->
+              count_proxied s;
+              resp
+          | exception (Client.Protocol_failure _ | Unix.Unix_error _) ->
+              Printf.eprintf
+                "suu-router: shard %s failed a forwarded request, \
+                 marking down\n%!"
+                id;
+              Health.force_down (health t) id;
+              go (tried + 1) rest)
+  in
+  go 0 ranked
+
+(* --- stats fan-out --- *)
+
+let shard_stats t s =
+  if not (is_live t s.sid) then None
+  else
+    match
+      Pool.with_client s.pool (fun c ->
+          Client.call c ~auto_id:false P.Stats)
+    with
+    | P.Ok { fields; _ } -> Some fields
+    | P.Err _ -> None
+    | exception _ -> None
+
+let stats_reply t req =
+  let results = Array.map (fun s -> shard_stats t s) t.shards in
+  let sources =
+    Array.to_list results |> List.filter_map (fun x -> x)
+  in
+  (* The router's own registry (router.*, client.* pool counters) rides
+     along as one more source — its names don't collide with shard-side
+     server.* metrics. *)
+  let merged = Stats_merge.merge (sources @ [ Suu_obs.Registry.render () ]) in
+  let up =
+    Array.fold_left
+      (fun acc s -> if is_live t s.sid then acc + 1 else acc)
+      0 t.shards
+  in
+  let breakdown =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i s ->
+              let pre = Printf.sprintf "shard.%d." i in
+              [ (pre ^ "id", s.sid);
+                (pre ^ "addr", Printf.sprintf "%s:%d" s.shost s.sport);
+                (pre ^ "up", if is_live t s.sid then "1" else "0");
+                (pre ^ "proxied", string_of_int (proxied s)) ]
+              @
+              match results.(i) with
+              | None -> []
+              | Some fields ->
+                  List.filter_map
+                    (fun k ->
+                      Option.map
+                        (fun v -> (pre ^ k, v))
+                        (List.assoc_opt k fields))
+                    [ "requests_total"; "plan_cache_hit_rate" ])
+            t.shards))
+  in
+  P.Ok
+    { id = req.P.id; rtype = "stats";
+      fields =
+        [ ("router_shards", string_of_int (Array.length t.shards));
+          ("router_shards_up", string_of_int up);
+          ("router_uptime_ms",
+           string_of_int
+             (int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.0)))
+        ]
+        @ merged @ breakdown }
+
+(* --- connection handling (mirrors Server.handle_conn) --- *)
+
+let send fd resp =
+  try
+    Lineio.write_all fd (P.response_to_string resp);
+    true
+  with Unix.Unix_error _ -> false
+
+let handle_request t req =
+  let t0 = Suu_obs.Clock.now_ns () in
+  let resp =
+    match req.P.body with
+    | P.Stats -> stats_reply t req
+    | body -> (
+        match P.instance_digest body with
+        | Some digest -> route_request t req digest
+        | None -> route_request t req (P.body_type body))
+  in
+  let dt =
+    Int64.to_float (Int64.sub (Suu_obs.Clock.now_ns ()) t0) /. 1e9
+  in
+  Suu_obs.Registry.observe (Lazy.force c_route) (Lazy.force h_route) dt;
+  resp
+
+let handle_conn t conn =
+  let rd = Lineio.reader conn.fd in
+  let next_line () = Lineio.next_line rd in
+  let rec loop () =
+    match P.read_request ~next_line with
+    | None -> ()
+    | Some req -> if send conn.fd (handle_request t req) then loop ()
+    | exception P.Parse_error { line; msg } ->
+        (* Same shape the server answers with: the offending frame is
+           consumed, the connection survives. *)
+        let ok =
+          send conn.fd
+            (P.Err
+               { id = None; code = P.Parse;
+                 message = P.parse_error_message ~line ~msg })
+        in
+        P.skip_frame ~next_line;
+        if ok then loop ()
+    | exception Lineio.Line_too_long ->
+        ignore
+          (send conn.fd
+             (P.Err
+                { id = None; code = P.Parse;
+                  message = "line too long; closing connection" }))
+  in
+  (try loop () with _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.lfd with
+    | fd, _ ->
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        let conn = { fd } in
+        Mutex.lock t.conns_lock;
+        let key = t.next_conn in
+        t.next_conn <- key + 1;
+        let th =
+          Thread.create
+            (fun () ->
+              handle_conn t conn;
+              Mutex.lock t.conns_lock;
+              Hashtbl.remove t.conns key;
+              Mutex.unlock t.conns_lock)
+            ()
+        in
+        Hashtbl.replace t.conns key (conn, th);
+        Mutex.unlock t.conns_lock;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        if not (Atomic.get t.stopping) then loop ()
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let start ?(config = default_config) ~shards () =
+  if shards = [] then invalid_arg "Router.start: no shards";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+  in
+  (try Unix.bind lfd addr
+   with e ->
+     Unix.close lfd;
+     raise e);
+  Unix.listen lfd 128;
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let mk i (spec : shard_spec) =
+    let pool =
+      Pool.create ~capacity:config.pool_capacity ~retries:config.retries
+        ~timeout_ms:config.timeout_ms ~backoff_ms:config.backoff_ms
+        ~retry_seed:(1000 * (i + 1))
+        ~host:spec.host ~port:spec.port ()
+    in
+    let s =
+      { sid = spec.id; shost = spec.host; sport = spec.port; pool;
+        child = spec.child; srespawn = spec.respawn; drain_t = None;
+        proxied = 0; plock = Mutex.create () }
+    in
+    (match spec.child with
+    | Some child ->
+        s.drain_t <-
+          Some
+            (Spawn.drain
+               ~echo:(fun line ->
+                 Printf.eprintf "suu-router: [%s] %s\n%!" s.sid line)
+               child)
+    | None -> ());
+    s
+  in
+  let shard_arr = Array.of_list (List.mapi mk shards) in
+  let ring = Ring.create (List.map (fun (sp : shard_spec) -> sp.id) shards) in
+  let t =
+    { cfg = config; lfd; bound_port; shards = shard_arr; ring;
+      health = None; started = Unix.gettimeofday ();
+      stopping = Atomic.make false; accept_thread = None;
+      conns = Hashtbl.create 16; conns_lock = Mutex.create ();
+      next_conn = 0; stop_lock = Mutex.create (); stopped = false }
+  in
+  let h =
+    Health.create ~fail_threshold:config.fail_threshold
+      ~interval_ms:config.health_interval_ms
+      ~shards:(Array.to_list (Array.map (fun s -> s.sid) shard_arr))
+      ~probe:(fun id -> probe t id)
+      ~on_change:(fun id up ->
+        let s = shard_by_id t id in
+        if not up then Pool.clear s.pool;
+        Printf.eprintf "suu-router: shard %s marked %s\n%!" id
+          (if up then "UP" else "DOWN"))
+      ()
+  in
+  t.health <- Some h;
+  Health.start h;
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let shutdown_fd fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let stop t =
+  Mutex.lock t.stop_lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_lock;
+  if not already then begin
+    Atomic.set t.stopping true;
+    (match t.health with Some h -> Health.stop h | None -> ());
+    shutdown_fd t.lfd;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_lock;
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    List.iter (fun ((conn : conn), _) -> shutdown_fd conn.fd) live;
+    List.iter (fun (_, th) -> Thread.join th) live;
+    Array.iter
+      (fun s ->
+        Pool.clear s.pool;
+        match s.child with
+        | Some child ->
+            Spawn.terminate child;
+            (match s.drain_t with Some th -> Thread.join th | None -> ())
+        | None -> ())
+      t.shards
+  end
+
+let check_health t =
+  match t.health with Some h -> Health.check_all h | None -> ()
+
+let live_shards t = Health.live_ids (health t)
+
+let run ?config ~shards () =
+  let t = start ?config ~shards () in
+  Printf.printf "suu-router listening on %s:%d (shards=%d)\n%!" t.cfg.host
+    t.bound_port (Array.length t.shards);
+  let signalled = Atomic.make false in
+  let on_signal _ = Atomic.set signalled true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  while not (Atomic.get signalled) do
+    Thread.delay 0.05
+  done;
+  prerr_endline "suu-router: signal received, draining";
+  stop t;
+  prerr_endline "suu-router: drained, bye"

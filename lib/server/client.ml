@@ -137,12 +137,12 @@ let call_once t ?id ?deadline_ms body =
    [Internal] and [Overloaded].  NOT retriable: [Bad_request], [Parse]
    and [Timeout] replies — the request itself is at fault and would
    fail identically again. *)
-let call t ?id ?deadline_ms body =
+let call t ?(auto_id = true) ?id ?deadline_ms body =
   if t.closed then raise (Protocol_failure "client is closed");
   let id =
     match id with
     | Some _ -> id
-    | None when t.retries > 0 ->
+    | None when auto_id && t.retries > 0 ->
         t.seq <- t.seq + 1;
         Some (Printf.sprintf "c%d" t.seq)
     | None -> None

@@ -51,13 +51,22 @@ val close : t -> unit
 (** Idempotent. *)
 
 val call :
-  t -> ?id:string -> ?deadline_ms:int -> Protocol.body -> Protocol.response
+  t ->
+  ?auto_id:bool ->
+  ?id:string ->
+  ?deadline_ms:int ->
+  Protocol.body ->
+  Protocol.response
 (** Send one request, wait for its response, retrying per the
     connection's policy.  When retries are enabled and no [id] is
-    given, one is attached automatically so replies can be verified.
-    Raises {!Protocol_failure} on a broken stream or exhausted retries
-    and [Unix.Unix_error] on transport errors; server-side failures
-    come back as [Protocol.Err]. *)
+    given, one is attached automatically so replies can be verified;
+    pass [~auto_id:false] to suppress that (a proxy forwarding a
+    client's frame verbatim must not invent an id, because the id is
+    echoed in the response and would break byte-identity with an
+    unproxied server — the proxy relies on always-fresh sockets across
+    retries instead).  Raises {!Protocol_failure} on a broken stream or
+    exhausted retries and [Unix.Unix_error] on transport errors;
+    server-side failures come back as [Protocol.Err]. *)
 
 (* Convenience wrappers over {!call}; each raises {!Protocol_failure}
    when the server replies with an error frame, carrying the rendered

@@ -417,3 +417,20 @@ let response_of_string s =
   match read_response ~next_line:(string_lines s) with
   | r -> r
   | exception Parse_error _ -> None
+
+(* --- digest affinity --- *)
+
+let instance_of_body = function
+  | Describe inst | Lower_bound inst
+  | Plan { inst; _ } | Simulate { inst; _ } -> Some inst
+  | Stats -> None
+
+let instance_digest body =
+  match instance_of_body body with
+  | None -> None
+  | Some inst ->
+      (* The canonical Instance_io rendering, not the raw wire bytes:
+         two textually different frames describing the same instance
+         hash alike, which is what keys the plan cache, the result
+         store and shard routing consistently. *)
+      Some (Digest.string (Suu_core.Instance_io.to_string inst))

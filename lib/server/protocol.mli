@@ -109,3 +109,10 @@ val request_of_string : string -> request option
 val response_of_string : string -> response option
 (** Parse a whole response frame held in a string; same conventions as
     {!request_of_string}. *)
+
+val instance_digest : body -> string option
+(** MD5 of the embedded instance's canonical {!Suu_core.Instance_io}
+    rendering; [None] for [Stats].  This is the digest the service
+    keys its instance cache by and the router hashes onto the shard
+    ring, so "same digest" means "same cache entry" means "same
+    shard". *)

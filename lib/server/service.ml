@@ -44,6 +44,7 @@ let create ?(instance_cache_capacity = 64) ?sim_jobs ?solver ?extra_stats
     solver; extra_stats; metrics; clock_ns }
 
 let entry_for t inst =
+  (* Same digest function as Protocol.instance_digest / shard routing. *)
   let digest = Digest.string (Suu_core.Instance_io.to_string inst) in
   Mutex.lock t.lock;
   let e =

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Usage: wait_ready.sh LOG [PROBE...]
+#
+# Poll LOG (up to ~10s) for a daemon's "listening on HOST:PORT" ready
+# line, then — if a PROBE command is given — require
+#
+#   PROBE --port PORT
+#
+# to succeed before reporting ready.  Prints the bound port on stdout;
+# dumps LOG to stderr and exits 1 if the daemon never comes up.  Both
+# suu-serve and suu-router print the same ready-line shape, so the one
+# helper covers every CI smoke; lib/router/spawn.ml is the OCaml
+# analogue for in-process children.
+set -u
+
+log=$1
+shift
+
+i=0
+while [ "$i" -lt 50 ]; do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log" 2>/dev/null | head -n 1)
+  if [ -n "$port" ]; then
+    if [ "$#" -eq 0 ] || "$@" --port "$port" >/dev/null 2>&1; then
+      printf '%s\n' "$port"
+      exit 0
+    fi
+  fi
+  sleep 0.2
+  i=$((i + 1))
+done
+
+echo "daemon behind $log never became ready; log follows" >&2
+cat "$log" 2>/dev/null >&2
+exit 1

@@ -50,6 +50,83 @@ let test_quantile_monotone () =
     prev := q
   done
 
+(* --- snapshot merge (router stats aggregation) --- *)
+
+let record_many h rng n =
+  for _ = 1 to n do
+    H.record h (Float.pow 10.0 (Suu_prng.Rng.range rng ~lo:(-6.0) ~hi:1.5))
+  done
+
+let test_merge_equals_union () =
+  (* Merging two shards' snapshots must equal the snapshot of one
+     histogram that saw every value — same buckets, count, sum, max. *)
+  let a = H.create "a" and b = H.create "b" and u = H.create "u" in
+  let rng = Suu_prng.Rng.create ~seed:42 in
+  let vs1 = Array.init 500 (fun _ -> Suu_prng.Rng.range rng ~lo:0.0 ~hi:20.0) in
+  let vs2 = Array.init 300 (fun _ -> Suu_prng.Rng.range rng ~lo:0.0 ~hi:60.0) in
+  Array.iter (fun v -> H.record a v; H.record u v) vs1;
+  Array.iter (fun v -> H.record b v; H.record u v) vs2;
+  let m = H.merge (H.snapshot a) (H.snapshot b) in
+  let su = H.snapshot u in
+  Alcotest.(check int) "count" su.H.count m.H.count;
+  Alcotest.(check (float 1e-9)) "sum" su.H.sum m.H.sum;
+  Alcotest.(check (float 0.0)) "max" su.H.max m.H.max;
+  Alcotest.(check (array int)) "buckets" su.H.buckets m.H.buckets;
+  (* and therefore every quantile agrees exactly *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q%g" p)
+        (H.quantile u su p) (H.quantile u m p))
+    [ 0.5; 0.95; 0.99 ]
+
+let test_merge_quantile_monotone () =
+  (* Quantiles of a merged snapshot stay monotone in p, across many
+     random shard pairs (the satellite's acceptance property). *)
+  let rng = Suu_prng.Rng.create ~seed:9 in
+  for _trial = 1 to 25 do
+    let a = H.create "a" and b = H.create "b" in
+    record_many a rng (1 + Suu_prng.Rng.int rng 400);
+    record_many b rng (1 + Suu_prng.Rng.int rng 400);
+    let m = H.merge (H.snapshot a) (H.snapshot b) in
+    let prev = ref neg_infinity in
+    for k = 0 to 100 do
+      let q = H.quantile a m (float_of_int k /. 100.0) in
+      if q < !prev then
+        Alcotest.failf "merged quantile not monotone: p=%d%% gave %g after %g"
+          k q !prev;
+      prev := q
+    done
+  done
+
+let test_merge_layout_mismatch () =
+  let a = H.create "a" and b = H.create ~bounds "b" in
+  match H.merge (H.snapshot a) (H.snapshot b) with
+  | _ -> Alcotest.fail "merging mismatched layouts should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_raw_roundtrip () =
+  let rng = Suu_prng.Rng.create ~seed:11 in
+  for _trial = 1 to 25 do
+    let h = H.create "r" in
+    record_many h rng (Suu_prng.Rng.int rng 300);
+    let s = H.snapshot h in
+    match H.snapshot_of_raw (H.raw_of_snapshot s) with
+    | None -> Alcotest.fail "raw round-trip failed to parse"
+    | Some s' ->
+        Alcotest.(check int) "count" s.H.count s'.H.count;
+        Alcotest.(check (float 0.0)) "sum exact" s.H.sum s'.H.sum;
+        Alcotest.(check (float 0.0)) "max exact" s.H.max s'.H.max;
+        Alcotest.(check (array int)) "buckets" s.H.buckets s'.H.buckets
+  done;
+  (* malformed inputs are rejected, not crashes *)
+  List.iter
+    (fun bad ->
+      match H.snapshot_of_raw bad with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted malformed raw %S" bad)
+    [ ""; "1 2.0"; "x 0 0 0"; "1 0 0 -3"; "1 nope 0 0" ]
+
 let test_quantile_brackets () =
   (* 100 values in (0.01, 0.1]: every interior quantile interpolates
      within that bucket's range. *)
@@ -242,6 +319,14 @@ let () =
             test_quantile_monotone;
           Alcotest.test_case "quantile brackets" `Quick
             test_quantile_brackets;
+          Alcotest.test_case "merge equals union" `Quick
+            test_merge_equals_union;
+          Alcotest.test_case "merged quantiles monotone" `Quick
+            test_merge_quantile_monotone;
+          Alcotest.test_case "merge layout mismatch" `Quick
+            test_merge_layout_mismatch;
+          Alcotest.test_case "raw codec round-trip" `Quick
+            test_raw_roundtrip;
         ] );
       ( "registry",
         [
