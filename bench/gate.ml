@@ -42,6 +42,7 @@ let warm_speedup_floor ~scale =
   match scale with Some "tiny" -> 3.0 | _ -> 5.0
 let parity_tolerance = 1.25
 let hit_rate_floor = 0.8
+let connection_floor = 500.0
 
 let get_num j path = J.to_float (J.path path j)
 
@@ -179,7 +180,30 @@ let regression current_path baseline_path =
       | None -> failf "plan_cache_hit_rate missing from current results");
       List.iter
         (fun p -> check_phase p cur base)
-        [ "server.request"; "server.execute"; "server.queue_wait" ]
+        [ "server.request"; "server.execute"; "server.queue_wait" ];
+      (* Connection scale is a correctness gate, not a tolerance band:
+         the event loop must hold hundreds of concurrent pipelined
+         connections with zero drops and byte-exact replies.  A missing
+         section means the pass never ran, which would make the claim
+         vacuous. *)
+      (match get_num cur [ "connection_scale"; "connections" ] with
+      | Some c when c >= connection_floor ->
+          okf "connection-scale ran %.0f concurrent connections (floor %.0f)"
+            c connection_floor
+      | Some c ->
+          failf "connection-scale ran only %.0f connections (floor %.0f)" c
+            connection_floor
+      | None -> failf "connection_scale missing from serve results");
+      (match get_num cur [ "connection_scale"; "dropped" ] with
+      | Some 0.0 -> okf "connection-scale dropped no connections"
+      | Some d -> failf "connection-scale dropped %.0f connections" d
+      | None -> failf "connection_scale.dropped missing from serve results");
+      (match get_num cur [ "connection_scale"; "mismatched" ] with
+      | Some 0.0 -> okf "connection-scale replies all byte-exact"
+      | Some m ->
+          failf "connection-scale saw %.0f connections with mismatched \
+                 replies" m
+      | None -> failf "connection_scale.mismatched missing from serve results")
   | "chaos" ->
       (* Fault tolerance is a correctness gate, not a tolerance band:
          with retries enabled, anything short of 100% completion means

@@ -1089,6 +1089,202 @@ let perf () =
    simulate request must produce byte-identical responses regardless
    of worker and domain counts. *)
 
+(* serve --connections N: the connection-scale pass.  One thread
+   multiplexes N non-blocking sockets over the same {!Suu_server.Reactor}
+   abstraction the server's loop uses (500 client threads would measure
+   the bench, not the server), pipelines a few describe requests on each,
+   and byte-compares every reply against a reference frame re-serialized
+   with the per-request id.  Replies interleave freely across workers, so
+   each connection's frames are compared as a multiset.  Returns the JSON
+   object embedded as BENCH_serve.json's "connection_scale" section plus
+   the dropped/mismatched counts the caller fails on. *)
+
+let connections_target = ref 500
+
+type cs_conn = {
+  cs_fd : Unix.file_descr;
+  cs_out : string;
+  mutable cs_off : int;
+  cs_expect_len : int;
+  cs_expect_sorted : string list;
+  cs_inbuf : Buffer.t;
+  mutable cs_done : bool;
+  mutable cs_ok : bool;
+  mutable cs_mismatch : bool;
+}
+
+(* Split a byte stream into whole frames; a line reading "done" ends a
+   frame.  A trailing partial frame is dropped (the caller only splits
+   streams whose byte count already matches the expected total). *)
+let split_frames s =
+  let n = String.length s in
+  let frames = ref [] and start = ref 0 and i = ref 0 in
+  while !i < n do
+    match String.index_from_opt s !i '\n' with
+    | None -> i := n
+    | Some nl ->
+        if String.trim (String.sub s !i (nl - !i)) = "done" then begin
+          frames := String.sub s !start (nl + 1 - !start) :: !frames;
+          start := nl + 1
+        end;
+        i := nl + 1
+  done;
+  List.rev !frames
+
+let connection_scale () =
+  let module Server = Suu_server.Server in
+  let module Client = Suu_server.Client in
+  let module Reactor = Suu_server.Reactor in
+  let module P = Suu_server.Protocol in
+  let conns = max 1 !connections_target in
+  let pipelined = 4 in
+  note "";
+  section
+    (Printf.sprintf
+       "serve connection-scale: %d concurrent connections x %d pipelined \
+        requests"
+       conns pipelined);
+  (* A queue deep enough that nothing is refused: this pass measures
+     connection fan-in, not admission control (the load test above
+     already measures overload). *)
+  let config =
+    { Server.default_config with workers = 4; queue_capacity = 4096 }
+  in
+  let server = Server.start ~config () in
+  let port = Server.port server in
+  let inst =
+    W.independent (W.Uniform { lo = 0.2; hi = 0.95 }) ~n:10 ~m:4 ~seed:31
+  in
+  let reference =
+    let c = Client.connect ~port () in
+    let r = Client.call c (P.Describe inst) in
+    Client.close c;
+    r
+  in
+  let expected_frame id =
+    match reference with
+    | P.Ok { id = _; rtype; fields } ->
+        P.response_to_string (P.Ok { id = Some id; rtype; fields })
+    | P.Err { code; message; _ } ->
+        failwith
+          (Printf.sprintf "connection-scale reference describe failed: %s %s"
+             (P.error_code_to_string code) message)
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let r = Reactor.create () in
+  let by_fd = Hashtbl.create (2 * conns) in
+  let t0 = Unix.gettimeofday () in
+  let states =
+    Array.init conns (fun i ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+        let ids = List.init pipelined (fun j -> Printf.sprintf "c%d-%d" i j) in
+        let out =
+          String.concat ""
+            (List.map
+               (fun id ->
+                 P.request_to_string
+                   { P.id = Some id; deadline_ms = None; body = P.Describe inst })
+               ids)
+        in
+        let expect = List.map expected_frame ids in
+        let st =
+          {
+            cs_fd = fd;
+            cs_out = out;
+            cs_off = 0;
+            cs_expect_len =
+              List.fold_left (fun a f -> a + String.length f) 0 expect;
+            cs_expect_sorted = List.sort compare expect;
+            cs_inbuf = Buffer.create 512;
+            cs_done = false;
+            cs_ok = false;
+            cs_mismatch = false;
+          }
+        in
+        Hashtbl.replace by_fd fd st;
+        Reactor.add r fd ~read:true ~write:true;
+        st)
+  in
+  let live = ref conns in
+  let finish st =
+    if not st.cs_done then begin
+      st.cs_done <- true;
+      Reactor.remove r st.cs_fd;
+      (try Unix.close st.cs_fd with Unix.Unix_error _ -> ());
+      decr live;
+      let got = Buffer.contents st.cs_inbuf in
+      if String.length got >= st.cs_expect_len then
+        if List.sort compare (split_frames got) = st.cs_expect_sorted then
+          st.cs_ok <- true
+        else st.cs_mismatch <- true
+      (* short of the expected bytes: counted as dropped *)
+    end
+  in
+  let chunk = Bytes.create 65536 in
+  let handle_writable st =
+    if (not st.cs_done) && st.cs_off < String.length st.cs_out then
+      match
+        Unix.write_substring st.cs_fd st.cs_out st.cs_off
+          (String.length st.cs_out - st.cs_off)
+      with
+      | n ->
+          st.cs_off <- st.cs_off + n;
+          if st.cs_off >= String.length st.cs_out then
+            Reactor.modify r st.cs_fd ~read:true ~write:false
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> finish st
+  in
+  let rec handle_readable st =
+    if not st.cs_done then
+      match Unix.read st.cs_fd chunk 0 (Bytes.length chunk) with
+      | 0 -> finish st
+      | n ->
+          Buffer.add_subbytes st.cs_inbuf chunk 0 n;
+          if Buffer.length st.cs_inbuf >= st.cs_expect_len then finish st
+          else handle_readable st
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> finish st
+  in
+  let deadline = t0 +. 60.0 in
+  while !live > 0 && Unix.gettimeofday () < deadline do
+    List.iter
+      (fun (ev : Reactor.event) ->
+        match Hashtbl.find_opt by_fd ev.Reactor.fd with
+        | None -> ()
+        | Some st ->
+            if ev.Reactor.writable then handle_writable st;
+            if ev.Reactor.readable then handle_readable st)
+      (Reactor.wait r ~timeout_ms:200)
+  done;
+  Array.iter finish states;
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.stop server;
+  let count f = Array.fold_left (fun a st -> if f st then a + 1 else a) 0 states in
+  let ok = count (fun st -> st.cs_ok) in
+  let mismatched = count (fun st -> st.cs_mismatch) in
+  let dropped = conns - ok - mismatched in
+  note
+    "connections=%d pipelined=%d ok=%d dropped=%d mismatched=%d wall=%.2fs \
+     (%.0f req/s, client reactor=%s)"
+    conns pipelined ok dropped mismatched wall
+    (float_of_int (ok * pipelined) /. wall)
+    (Reactor.backend r);
+  let json =
+    Printf.sprintf
+      "{\"connections\": %d, \"pipelined\": %d, \"ok\": %d, \"dropped\": %d, \
+       \"mismatched\": %d, \"wall_sec\": %.6g, \"rps\": %.6g}"
+      conns pipelined ok dropped mismatched wall
+      (float_of_int (ok * pipelined) /. wall)
+  in
+  (json, dropped, mismatched)
+
 let serve_bench () =
   section "serve: suu-serve load test (in-process daemon, closed-loop clients)";
   let module Server = Suu_server.Server in
@@ -1208,6 +1404,12 @@ let serve_bench () =
   note "simulate response bit-identical at (workers=1, jobs=1) vs \
         (workers=4, jobs=4): %s"
     (if deterministic then "yes" else "NO");
+  (* Capture phase quantiles before the connection-scale pass so the
+     gated p50s reflect the mixed load test above, not thousands of
+     cheap describes. *)
+  let phases_buf = Buffer.create 512 in
+  phases_json phases_buf ~indent:2;
+  let cs_json, cs_dropped, cs_mismatched = connection_scale () in
   let buf = Buffer.create 2048 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -1232,11 +1434,10 @@ let serve_bench () =
   bpf "  \"plan_cache_hit_rate\": %s,\n" (cache_stat "plan_cache_hit_rate");
   bpf "  \"solver\": \"%s\",\n" (cache_stat "solver");
   bpf "  \"deterministic_over_the_wire\": %b,\n" deterministic;
+  bpf "  \"connection_scale\": %s,\n" cs_json;
   (* The load-tested server runs in this process, so the registry holds
      its request-phase spans (parse / queue_wait / execute / write). *)
-  bpf "  \"phases\": ";
-  phases_json buf ~indent:2;
-  bpf "\n";
+  bpf "  \"phases\": %s\n" (Buffer.contents phases_buf);
   bpf "}\n";
   let oc = open_out "BENCH_serve.json" in
   output_string oc (Buffer.contents buf);
@@ -1244,7 +1445,12 @@ let serve_bench () =
   note "\nwrote BENCH_serve.json";
   if errors > 0 then failwith "serve bench saw unexpected error responses";
   if not deterministic then
-    failwith "serve bench: simulate responses differ across worker counts"
+    failwith "serve bench: simulate responses differ across worker counts";
+  if cs_dropped > 0 || cs_mismatched > 0 then
+    failwith
+      (Printf.sprintf
+         "serve bench connection-scale: %d dropped, %d mismatched connections"
+         cs_dropped cs_mismatched)
 
 (* ------------------------------------------------------------------ *)
 (* chaos — the fault-tolerance harness: an in-process server with the
@@ -2005,8 +2211,26 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  let names = List.filter (fun a -> a <> "--router") args in
-  if List.length names < List.length args then chaos_router_enabled := true;
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--router" :: rest ->
+        chaos_router_enabled := true;
+        parse acc rest
+    | "--connections" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            connections_target := n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--connections expects a positive integer, got %S\n"
+              n;
+            exit 2)
+    | "--connections" :: [] ->
+        prerr_endline "--connections expects a positive integer";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let names = parse [] args in
   let requested =
     match names with [] -> List.map fst experiments | names -> names
   in

@@ -436,16 +436,16 @@ let check_health t =
 let live_shards t = Health.live_ids (health t)
 
 let run ?config ~shards () =
+  (* Same race-free shutdown as Suu_server.Server.run: mask INT/TERM
+     before startup so a signal during shard spawn stays pending, then
+     collect it with sigwait.  Shard children inherit the mask across
+     exec, which is harmless — their own [run] uses the same pattern. *)
+  let stop_signals = [ Sys.sigint; Sys.sigterm ] in
+  ignore (Thread.sigmask Unix.SIG_BLOCK stop_signals);
   let t = start ?config ~shards () in
   Printf.printf "suu-router listening on %s:%d (shards=%d)\n%!" t.cfg.host
     t.bound_port (Array.length t.shards);
-  let signalled = Atomic.make false in
-  let on_signal _ = Atomic.set signalled true in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  while not (Atomic.get signalled) do
-    Thread.delay 0.05
-  done;
+  ignore (Thread.wait_signal stop_signals);
   prerr_endline "suu-router: signal received, draining";
   stop t;
   prerr_endline "suu-router: drained, bye"

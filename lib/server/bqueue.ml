@@ -37,6 +37,12 @@ let pop t =
   Mutex.unlock t.lock;
   r
 
+let try_pop t =
+  Mutex.lock t.lock;
+  let r = Queue.take_opt t.items in
+  Mutex.unlock t.lock;
+  r
+
 let close t =
   Mutex.lock t.lock;
   t.closed <- true;

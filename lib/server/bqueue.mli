@@ -25,6 +25,11 @@ val pop : 'a t -> 'a option
 (** [pop q] blocks until an item is available and dequeues it (FIFO).
     Returns [None] once the queue is closed {e and} drained. *)
 
+val try_pop : 'a t -> 'a option
+(** Dequeue without blocking: [None] when currently empty (closed or
+    not).  The event loop drains its completion queue with this — it
+    must never block. *)
+
 val close : 'a t -> unit
 (** Refuse further pushes and wake all blocked consumers.  Idempotent. *)
 

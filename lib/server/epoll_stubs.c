@@ -1,0 +1,78 @@
+/* Thin epoll(7) binding for the suu-serve reactor.
+ *
+ * Linux only; every entry point degrades to returning -1 elsewhere so
+ * reactor.ml can fall back to its Unix.select backend at runtime.  The
+ * OCaml side passes file descriptors directly (they are immediate ints
+ * on Unix) and a flat int array for the event results, so no allocation
+ * happens on the C side and no custom blocks are needed.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <errno.h>
+
+CAMLprim value suu_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(epoll_create1(0));
+}
+
+/* op: 1 = add, 2 = del, 3 = mod (mirrors EPOLL_CTL_*).  events is the
+ * raw epoll bitmask built in reactor.ml from the exported constants. */
+CAMLprim value suu_epoll_ctl(value epfd, value op, value fd, value events)
+{
+  struct epoll_event ev;
+  ev.events = (uint32_t)Long_val(events);
+  ev.data.fd = Int_val(fd);
+  return Val_int(epoll_ctl(Int_val(epfd), Int_val(op), Int_val(fd), &ev));
+}
+
+/* Fills [out] with (fd, events) pairs; returns the event count, 0 on
+ * timeout, -1 on error (-2 for EINTR so the caller can just retry).
+ * The runtime lock is released around the wait so worker threads keep
+ * executing requests while the reactor sleeps. */
+CAMLprim value suu_epoll_wait(value epfd, value timeout_ms, value out)
+{
+  struct epoll_event evs[1024];
+  int max = (int)(Wosize_val(out) / 2);
+  int n, i;
+  if (max > 1024) max = 1024;
+  if (max < 1) return Val_int(-1);
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(epfd), evs, max, Int_val(timeout_ms));
+  caml_acquire_runtime_system();
+  if (n < 0) return Val_int(errno == EINTR ? -2 : -1);
+  for (i = 0; i < n; i++) {
+    /* Immediates only: no write barrier required. */
+    Field(out, 2 * i) = Val_int(evs[i].data.fd);
+    Field(out, 2 * i + 1) = Val_long((long)evs[i].events);
+  }
+  return Val_int(n);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value suu_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value suu_epoll_ctl(value epfd, value op, value fd, value events)
+{
+  (void)epfd; (void)op; (void)fd; (void)events;
+  return Val_int(-1);
+}
+
+CAMLprim value suu_epoll_wait(value epfd, value timeout_ms, value out)
+{
+  (void)epfd; (void)timeout_ms; (void)out;
+  return Val_int(-1);
+}
+
+#endif

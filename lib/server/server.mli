@@ -1,13 +1,22 @@
-(** The [suu-serve] TCP daemon.
+(** The [suu-serve] TCP daemon — a single-threaded event loop in front
+    of a worker pool.
 
-    One listener thread accepts connections; each connection gets a
-    reader thread that parses {!Protocol} frames and offers them to a
-    {e bounded} request queue drained by a pool of worker threads.  A
-    full queue refuses the offer and the reader immediately writes a
-    structured [overloaded] error — backpressure instead of unbounded
-    buffering.  Workers run {!Service.handle} (simulation replications
-    fan out over the {!Suu_sim.Parallel} domain pool) and serialize the
-    reply under a per-connection write lock.
+    One loop thread owns every socket through a {!Reactor} (epoll on
+    Linux, [select] elsewhere): it accepts connections, reads frames
+    into per-connection incremental parse buffers, admits completed
+    requests to a {e bounded} queue, and writes every reply.  Requests
+    pipeline naturally — the loop keeps parsing while earlier requests
+    execute, and replies flush as they complete (clients match
+    responses by id).  A full queue refuses the offer and the loop
+    immediately writes a structured [overloaded] error — backpressure
+    instead of unbounded buffering.
+    Workers run {!Service.handle} (simulation replications fan out over
+    the {!Suu_sim.Parallel} domain pool) and hand the serialized reply
+    back to the loop over a wakeup pipe; only the loop touches sockets,
+    so no write locks exist.  A peer that stops reading its replies has
+    its read interest shed once [outbuf_limit] is exceeded
+    ([server.reader.paused]); partial writes park the remainder and
+    resume when the socket drains ([server.writer.resumed]).
 
     Every request carries an absolute deadline — its own [deadline-ms]
     or the server default — checked when the request is dequeued and
@@ -26,13 +35,14 @@
     keeps serving.  With no faults configured the reply path pays one
     option match.
 
-    A malformed frame gets a located [parse] error reply and the reader
+    A malformed frame gets a located [parse] error reply and the parser
     resynchronizes to the next [done]; the connection survives.
 
     {!stop} is the graceful drain: stop accepting, refuse new offers
-    (readers answer [overloaded] while draining), let the workers
-    finish every admitted request, then close the remaining
-    connections.  {!run} wires SIGINT/SIGTERM to exactly that. *)
+    (admissions answer [overloaded] while draining), let the workers
+    finish every admitted request, flush every owed reply, then close
+    the remaining connections.  {!run} wires SIGINT/SIGTERM to exactly
+    that. *)
 
 type t
 
@@ -70,14 +80,24 @@ type config = {
   clock_ns : unit -> int64;
       (** monotonic clock for deadline arithmetic (default
           {!Suu_obs.Clock.now_ns}; injectable for tests) *)
+  so_sndbuf : int option;
+      (** send-buffer size forced onto accepted sockets ([None], the
+          default, keeps the OS value).  A tiny value makes the kernel
+          exert backpressure after a few KB — the short-write test
+          hook. *)
+  outbuf_limit : int;
+      (** per-connection cap on buffered unsent reply bytes (default
+          8 MiB).  Above it the loop stops {e reading} that connection
+          — no new admissions — until the backlog halves; memory stays
+          bounded against a peer that pipelines but never reads. *)
 }
 
 val default_config : config
 
 val start : ?config:config -> unit -> t
-(** Bind, listen and spin up the pool.  Raises [Unix.Unix_error] when
-    the address is unavailable and [Invalid_argument] when [SUU_FAULTS]
-    is set but malformed. *)
+(** Bind, listen and spin up the loop and pool.  Raises
+    [Unix.Unix_error] when the address is unavailable and
+    [Invalid_argument] when [SUU_FAULTS] is set but malformed. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Replay-bench smoke: store-memoized sweeps must be byte-identical to
+# direct computation, cold and after a simulated kill -9.
+. "$(dirname "$0")/smoke_lib.sh"
+
+SUU_PERF_SCALE=tiny "$BENCH" replay
+test -s BENCH_replay.json
+grep -q '"identical": true' BENCH_replay.json
+grep -q '"resumed_identical": true' BENCH_replay.json

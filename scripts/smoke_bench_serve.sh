@@ -1,0 +1,15 @@
+#!/bin/sh
+# Serve-bench smoke: tiny-scale load test plus the connection-scale
+# pass — the event loop must hold >= 500 concurrent pipelined
+# connections with zero drops and byte-exact replies.  500 client
+# sockets + 500 accepted sockets live in one process, so raise the fd
+# ceiling where the soft default (often 1024) is too tight.
+. "$(dirname "$0")/smoke_lib.sh"
+
+ulimit -n 4096 2>/dev/null || true
+
+SUU_PERF_SCALE=tiny "$BENCH" serve --connections "${CONNECTIONS:-500}"
+test -s BENCH_serve.json
+grep -q '"deterministic_over_the_wire": true' BENCH_serve.json
+grep -q '"dropped": 0' BENCH_serve.json
+grep -q '"mismatched": 0' BENCH_serve.json

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Shard-bench smoke: routed vs direct throughput plus the byte-identity
+# sweep — every routed response must match the single server's.
+. "$(dirname "$0")/smoke_lib.sh"
+
+SUU_PERF_SCALE=tiny "$BENCH" shard
+test -s BENCH_shard.json
+grep -q '"byte_identical": true' BENCH_shard.json

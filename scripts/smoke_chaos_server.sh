@@ -1,0 +1,28 @@
+#!/bin/sh
+# Chaos server smoke: a server with SUU_FAULTS armed (drops, delays,
+# injected errors, torn frames, worker crashes) must still serve a
+# retrying client, and the stats snapshot must expose the injection and
+# restart counters.
+. "$(dirname "$0")/smoke_lib.sh"
+
+SUU_FAULTS="drop=0.1,delay=0.1:10,error=0.05,kill=0.05,crash=0.05,seed=7" \
+  "$CLI" serve --port 0 > "$SCRATCH/chaos-serve.log" 2>&1 &
+SERVE_PID=$!
+track "$SERVE_PID"
+PORT=$(scripts/wait_ready.sh "$SCRATCH/chaos-serve.log" \
+  "$CLI" client stats --retries 10 --timeout-ms 500)
+grep -q 'fault injection ACTIVE' "$SCRATCH/chaos-serve.log"
+
+# Every request must converge through retries despite ~25% per-reply
+# fault probability.
+for i in $(seq 1 10); do
+  "$CLI" client simulate --port "$PORT" -n 8 -m 3 --reps 5 \
+    --policy greedy --retries 10 --timeout-ms 500 | grep -q '^mean '
+done
+
+"$CLI" client stats --port "$PORT" --retries 10 --timeout-ms 500 \
+  --full | tee "$SCRATCH/chaos-stats.out"
+grep -q '^obs\.counter\.faults\.injected\.' "$SCRATCH/chaos-stats.out"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"

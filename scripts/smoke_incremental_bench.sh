@@ -1,0 +1,25 @@
+#!/bin/sh
+# Incremental-bench smoke: a store-armed sweep killed mid-run must, on
+# re-run, resume from the committed batches and emit stdout
+# byte-identical to an uninterrupted cold run.
+. "$(dirname "$0")/smoke_lib.sh"
+
+# Reference: uninterrupted run against a fresh store.
+SUU_STORE="$SCRATCH/store-ref" "$BENCH" e1 > "$SCRATCH/bench-ref.out"
+
+# Interrupted run: SIGKILL mid-sweep, then re-run to completion.
+( SUU_STORE="$SCRATCH/store-resume" "$BENCH" e1 > /dev/null 2>&1 ) &
+BENCH_PID=$!
+track "$BENCH_PID"
+sleep 0.5
+kill -9 "$BENCH_PID" 2>/dev/null || true
+wait "$BENCH_PID" 2>/dev/null || true
+SUU_STORE="$SCRATCH/store-resume" "$BENCH" e1 > "$SCRATCH/bench-resume.out"
+
+# Byte-identical modulo the wall-clock footer line.
+grep -v 'total bench time' "$SCRATCH/bench-ref.out" > "$SCRATCH/ref.filtered"
+grep -v 'total bench time' "$SCRATCH/bench-resume.out" > "$SCRATCH/resume.filtered"
+diff "$SCRATCH/ref.filtered" "$SCRATCH/resume.filtered"
+
+"$CLI" store stats --dir "$SCRATCH/store-resume" | tee "$SCRATCH/store-stats.out"
+grep -q '^records [1-9]' "$SCRATCH/store-stats.out"

@@ -1,0 +1,43 @@
+# Shared prelude for scripts/smoke_*.sh — source it, don't execute it:
+#
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# It cds to the repo root, resolves the built binaries (override with
+# CLI= / BENCH= / GATE= env vars), creates a scratch directory that is
+# removed on exit, and tracks background daemons so a failing smoke
+# never leaks processes onto the runner.  Every smoke is locally
+# runnable: `dune build` then `scripts/smoke_<name>.sh`.
+#
+# Binaries are invoked directly rather than through `dune exec`: a
+# backgrounded daemon would hold dune's build lock open and deadlock
+# every subsequent client call.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLI=${CLI:-_build/default/bin/suu_cli.exe}
+BENCH=${BENCH:-_build/default/bench/main.exe}
+GATE=${GATE:-_build/default/bench/gate.exe}
+for exe in "$CLI" "$BENCH" "$GATE"; do
+  if [ ! -x "$exe" ]; then
+    echo "missing $exe — run 'dune build' first" >&2
+    exit 1
+  fi
+done
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/suu-smoke.XXXXXX")
+SMOKE_PIDS=""
+
+# track PID — register a background daemon for cleanup.  Smokes that
+# stop their daemons deliberately (kill -INT, kill -9) don't need to
+# untrack: the cleanup kill of an already-dead pid is a no-op.
+track() { SMOKE_PIDS="$SMOKE_PIDS $1"; }
+
+cleanup() {
+  status=$?
+  for p in $SMOKE_PIDS; do kill "$p" 2>/dev/null || true; done
+  for p in $SMOKE_PIDS; do wait "$p" 2>/dev/null || true; done
+  rm -rf "$SCRATCH"
+  exit "$status"
+}
+trap cleanup EXIT INT TERM

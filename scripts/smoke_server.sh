@@ -1,0 +1,28 @@
+#!/bin/sh
+# Server smoke: the daemon end to end over a real socket.  The server
+# binds port 0 (the kernel picks a free one — a fixed port collides
+# with whatever else runs on a shared runner) and prints the bound
+# port; scripts/wait_ready.sh parses it, probes readiness, and fails
+# loudly if the server never comes up.  Also validates the SUU_TRACE
+# capture: valid JSONL whose simulate request is >= 95% covered by its
+# phase spans.
+. "$(dirname "$0")/smoke_lib.sh"
+
+SUU_TRACE=1 SUU_TRACE_FILE="$SCRATCH/suu-trace.jsonl" \
+  "$CLI" serve --port 0 > "$SCRATCH/serve.log" 2>&1 &
+SERVE_PID=$!
+track "$SERVE_PID"
+PORT=$(scripts/wait_ready.sh "$SCRATCH/serve.log" "$CLI" client stats)
+
+"$CLI" client simulate \
+  --port "$PORT" -n 8 -m 3 --reps 5 --policy greedy | tee "$SCRATCH/sim.out"
+grep -q '^mean ' "$SCRATCH/sim.out"
+
+# The stats endpoint must expose per-phase quantiles with --full.
+"$CLI" client stats --port "$PORT" --full | tee "$SCRATCH/stats.out"
+grep -q '^obs\.phase\.server\.execute\.p95_ms ' "$SCRATCH/stats.out"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+
+"$GATE" trace-coverage "$SCRATCH/suu-trace.jsonl"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Solver smoke: the serve-path default is certified MWU with automatic
+# simplex fallback; switching the backend must not change what clients
+# see.  Two daemons — one per solver — answer the same seeded simulate
+# request, and the replies must match byte for byte (same-server
+# determinism is checked by sending it twice).
+. "$(dirname "$0")/smoke_lib.sh"
+
+"$CLI" serve --port 0 --solver mwu > "$SCRATCH/solver-mwu.log" 2>&1 &
+MWU_PID=$!
+track "$MWU_PID"
+"$CLI" serve --port 0 --solver simplex > "$SCRATCH/solver-simplex.log" 2>&1 &
+SIMPLEX_PID=$!
+track "$SIMPLEX_PID"
+
+MWU_PORT=$(scripts/wait_ready.sh "$SCRATCH/solver-mwu.log" "$CLI" client stats)
+SIMPLEX_PORT=$(scripts/wait_ready.sh "$SCRATCH/solver-simplex.log" "$CLI" client stats)
+
+"$CLI" client simulate --port "$MWU_PORT" \
+  -n 8 -m 3 --reps 5 --seed 7 > "$SCRATCH/mwu.out"
+"$CLI" client simulate --port "$MWU_PORT" \
+  -n 8 -m 3 --reps 5 --seed 7 > "$SCRATCH/mwu2.out"
+"$CLI" client simulate --port "$SIMPLEX_PORT" \
+  -n 8 -m 3 --reps 5 --seed 7 > "$SCRATCH/simplex.out"
+
+kill -INT "$MWU_PID" "$SIMPLEX_PID"
+wait "$MWU_PID" "$SIMPLEX_PID"
+
+diff "$SCRATCH/mwu.out" "$SCRATCH/mwu2.out"
+diff "$SCRATCH/mwu.out" "$SCRATCH/simplex.out"

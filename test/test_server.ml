@@ -666,6 +666,260 @@ let test_e2e_solver_parity_and_stats () =
     "mwu and simplex servers answer byte-identically on tiny instances"
     true (mwu = simplex)
 
+(* --- line buffering and read-boundary splits --- *)
+
+let test_linebuf_boundary_splits () =
+  (* One byte per feed: the worst possible read fragmentation must
+     reassemble lines exactly, including CRLF and empty lines. *)
+  let module LB = Suu_server.Lineio.Linebuf in
+  let input = "alpha\nbeta\r\n\ngamma" in
+  let lb = LB.create () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      LB.feed lb (Bytes.make 1 ch) 0 1;
+      let rec drain () =
+        match LB.next lb with
+        | Some l ->
+            got := l :: !got;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    input;
+  (match LB.take_rest lb with Some l -> got := l :: !got | None -> ());
+  Alcotest.(check (list string))
+    "lines reassemble across 1-byte reads"
+    [ "alpha"; "beta"; ""; "gamma" ]
+    (List.rev !got)
+
+let test_lineio_frame_split_every_boundary () =
+  (* Regression: a frame split across two reads used to surface as a
+     located parse error when the split abandoned the buffered partial
+     line.  Cut a valid frame at every byte position and parse it. *)
+  let s =
+    P.request_to_string { P.id = Some "x"; deadline_ms = None; body = P.Stats }
+  in
+  for cut = 1 to String.length s - 1 do
+    let parts =
+      ref [ String.sub s 0 cut; String.sub s cut (String.length s - cut) ]
+    in
+    let fn buf off _len =
+      match !parts with
+      | [] -> 0
+      | p :: tl ->
+          parts := tl;
+          Bytes.blit_string p 0 buf off (String.length p);
+          String.length p
+    in
+    let rd = Suu_server.Lineio.reader_of_fn fn in
+    let next_line () = Suu_server.Lineio.next_line rd in
+    match P.read_request ~next_line with
+    | Some { P.id = Some "x"; body = P.Stats; _ } -> ()
+    | Some _ -> Alcotest.failf "frame split at byte %d parsed wrong" cut
+    | None -> Alcotest.failf "frame split at byte %d read as end of stream" cut
+    | exception P.Parse_error { line; msg } ->
+        Alcotest.failf "frame split at byte %d raised: line %d: %s" cut line msg
+  done
+
+let test_lineio_eintr_mid_frame () =
+  (* Regression: an EINTR between the two halves of a frame was caught
+     by the blanket Unix_error handler, which flagged EOF and discarded
+     the buffered partial line — so the frame surfaced as a located
+     "unexpected end of stream" parse error.  An interrupted read must
+     be retried with the buffer intact. *)
+  let chunks =
+    ref [ `Data "suu-request v1\nid e\ntype st"; `Eintr; `Data "ats\ndone\n" ]
+  in
+  let fn buf off _len =
+    match !chunks with
+    | [] -> 0
+    | `Eintr :: tl ->
+        chunks := tl;
+        raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+    | `Data s :: tl ->
+        chunks := tl;
+        Bytes.blit_string s 0 buf off (String.length s);
+        String.length s
+  in
+  let rd = Suu_server.Lineio.reader_of_fn fn in
+  let next_line () = Suu_server.Lineio.next_line rd in
+  match P.read_request ~next_line with
+  | Some { P.id = Some "e"; body = P.Stats; _ } -> ()
+  | Some _ -> Alcotest.fail "EINTR mid-frame corrupted the request"
+  | None -> Alcotest.fail "EINTR mid-frame read as end of stream"
+  | exception P.Parse_error { line; msg } ->
+      Alcotest.failf "EINTR mid-frame surfaced as parse error: line %d: %s"
+        line msg
+
+(* --- event-loop edge cases --- *)
+
+let counter n = Suu_obs.Counter.get (Suu_obs.Registry.counter n)
+
+let connect_raw server =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+  fd
+
+let request_bytes id body =
+  P.request_to_string { P.id = Some id; deadline_ms = None; body }
+
+let read_responses fd n =
+  let rd = Suu_server.Lineio.reader fd in
+  let next_line () = Suu_server.Lineio.next_line rd in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match P.read_response ~next_line with
+      | Some r -> go (r :: acc) (n - 1)
+      | None -> Alcotest.failf "stream ended with %d responses missing" n
+  in
+  go [] n
+
+let response_id = function
+  | P.Ok { id; _ } | P.Err { id; _ } -> Option.value id ~default:"<none>"
+
+let test_e2e_pipelined_one_segment () =
+  (* All requests arrive in ONE write — very likely one TCP segment on
+     loopback — and every one must be parsed and answered.  One worker
+     keeps completion order equal to admission order. *)
+  let config = { Server.default_config with workers = 1 } in
+  let inst = W.independent uniform ~n:4 ~m:2 ~seed:21 in
+  let n = 8 in
+  with_server ~config (fun server ->
+      let fd = connect_raw server in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let buf = Buffer.create 1024 in
+          for i = 1 to n do
+            Buffer.add_string buf
+              (request_bytes
+                 (Printf.sprintf "p%d" i)
+                 (if i mod 2 = 0 then P.Stats else P.Describe inst))
+          done;
+          Suu_server.Lineio.write_all fd (Buffer.contents buf);
+          let ids = List.map response_id (read_responses fd n) in
+          Alcotest.(check (list string))
+            "all pipelined requests answered in order"
+            (List.init n (fun i -> Printf.sprintf "p%d" (i + 1)))
+            ids))
+
+let test_e2e_partial_write_resume () =
+  (* A tiny SO_SNDBUF on the server plus a tiny SO_RCVBUF on a client
+     that reads nothing until it has sent everything forces short
+     writes: the writer must park the tail and resume it when the
+     socket drains, without corrupting or reordering any frame. *)
+  let config =
+    { Server.default_config with
+      workers = 1; queue_capacity = 256; so_sndbuf = Some 4096 }
+  in
+  let n = 200 in
+  with_server ~config (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+      Unix.connect fd
+        (Unix.ADDR_INET
+           (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let before = counter "server.writer.resumed" in
+          let buf = Buffer.create (n * 48) in
+          for i = 1 to n do
+            Buffer.add_string buf (request_bytes (Printf.sprintf "w%d" i) P.Stats)
+          done;
+          Suu_server.Lineio.write_all fd (Buffer.contents buf);
+          (* let the server run into the full socket before we drain *)
+          Thread.delay 0.2;
+          let ids = List.map response_id (read_responses fd n) in
+          Alcotest.(check (list string))
+            "every response intact and in order"
+            (List.init n (fun i -> Printf.sprintf "w%d" (i + 1)))
+            ids;
+          Alcotest.(check bool)
+            "short writes were parked and resumed" true
+            (counter "server.writer.resumed" > before)))
+
+let test_e2e_slow_reader_backpressure () =
+  (* A peer that pipelines thousands of requests but reads nothing must
+     not buy unbounded reply buffering: once the unsent backlog passes
+     [outbuf_limit] the loop stops READING that connection (so stops
+     admitting from it), while other connections stay fully served. *)
+  let config =
+    { Server.default_config with
+      workers = 2; queue_capacity = 256; so_sndbuf = Some 4096;
+      outbuf_limit = 16 * 1024 }
+  in
+  let inst = W.independent uniform ~n:4 ~m:2 ~seed:22 in
+  let n = 400 in
+  with_server ~config (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+      Unix.connect fd
+        (Unix.ADDR_INET
+           (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let before = counter "server.reader.paused" in
+          let buf = Buffer.create (n * 48) in
+          for i = 1 to n do
+            Buffer.add_string buf (request_bytes (Printf.sprintf "s%d" i) P.Stats)
+          done;
+          Suu_server.Lineio.write_all fd (Buffer.contents buf);
+          let rec wait tries =
+            if counter "server.reader.paused" > before || tries = 0 then ()
+            else begin
+              Thread.delay 0.02;
+              wait (tries - 1)
+            end
+          in
+          wait 250;
+          Alcotest.(check bool)
+            "read interest shed under reply backlog" true
+            (counter "server.reader.paused" > before);
+          (* an unrelated connection is still served while the slow
+             reader is stalled *)
+          with_client server (fun c ->
+              let d = Client.describe c inst in
+              Alcotest.(check string)
+                "other connections unaffected" "4" (field d "jobs"));
+          (* draining the slow reader unsticks everything: one reply per
+             request, ids complete (order across the overload boundary
+             is not guaranteed with two workers) *)
+          let ids = List.map response_id (read_responses fd n) in
+          Alcotest.(check (list string))
+            "every request answered exactly once"
+            (List.sort compare (List.init n (fun i -> Printf.sprintf "s%d" (i + 1))))
+            (List.sort compare ids)))
+
+let test_e2e_mid_request_disconnect () =
+  (* A client that dies halfway through a frame must cost the server
+     nothing: the connection is reaped and new clients are served. *)
+  with_server (fun server ->
+      let fd = connect_raw server in
+      Suu_server.Lineio.write_all fd
+        "suu-request v1\nid half\ntype describe\ninstance\nsuu-instance v1\n";
+      Unix.close fd;
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec check_reaped () =
+        let reaped =
+          with_client server (fun c ->
+              let st = Client.stats c () in
+              field st "connections" = "1")
+        in
+        if reaped then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "half-dead connection never reaped"
+        else begin
+          Thread.delay 0.02;
+          check_reaped ()
+        end
+      in
+      check_reaped ())
+
 let () =
   Alcotest.run "server"
     [
@@ -689,6 +943,15 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "render" `Quick test_metrics_render ] );
+      ( "lineio",
+        [
+          Alcotest.test_case "linebuf 1-byte boundary splits" `Quick
+            test_linebuf_boundary_splits;
+          Alcotest.test_case "frame split at every read boundary" `Quick
+            test_lineio_frame_split_every_boundary;
+          Alcotest.test_case "EINTR mid-frame is retried, not EOF" `Quick
+            test_lineio_eintr_mid_frame;
+        ] );
       ( "faults",
         [
           Alcotest.test_case "spec parse/roundtrip/determinism" `Quick
@@ -721,5 +984,16 @@ let () =
             test_e2e_graceful_shutdown_drains;
           Alcotest.test_case "solver parity and stats" `Quick
             test_e2e_solver_parity_and_stats;
+        ] );
+      ( "event-loop",
+        [
+          Alcotest.test_case "pipelined requests in one segment" `Quick
+            test_e2e_pipelined_one_segment;
+          Alcotest.test_case "partial writes park and resume" `Quick
+            test_e2e_partial_write_resume;
+          Alcotest.test_case "slow reader sheds read interest" `Quick
+            test_e2e_slow_reader_backpressure;
+          Alcotest.test_case "mid-request disconnect is reaped" `Quick
+            test_e2e_mid_request_disconnect;
         ] );
     ]
