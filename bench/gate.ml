@@ -203,7 +203,45 @@ let regression current_path baseline_path =
       | Some m ->
           failf "connection-scale saw %.0f connections with mismatched \
                  replies" m
-      | None -> failf "connection_scale.mismatched missing from serve results")
+      | None -> failf "connection_scale.mismatched missing from serve results");
+      (* Open-loop workload replay (serve --workload): correctness
+         gates only — completion, determinism and the presence of the
+         per-arrival latency quantiles.  The section is null when the
+         bench ran closed-loop only (e.g. older baselines), which is
+         not a failure; but a present section must be sound. *)
+      (match J.path [ "workload" ] cur with
+      | None | Some J.Null -> okf "no open-loop workload section (closed-loop run)"
+      | Some _ ->
+          (match
+             (get_num cur [ "workload"; "arrivals" ],
+              get_num cur [ "workload"; "completed" ])
+           with
+          | Some a, Some c when a > 0.0 && c >= a ->
+              okf "workload replay completed %.0f/%.0f arrivals" c a
+          | Some a, Some c ->
+              failf "workload replay completed only %.0f of %.0f arrivals" c a
+          | _ ->
+              failf "workload arrivals/completed missing from serve results");
+          (match J.to_bool (J.path [ "workload"; "deterministic_replay" ] cur)
+           with
+          | Some true -> okf "workload replay byte-identical across runs"
+          | Some false ->
+              failf "workload replay responses differ across two runs at the \
+                     same seed"
+          | None ->
+              failf "workload.deterministic_replay missing from serve results");
+          List.iter
+            (fun path ->
+              match get_num cur path with
+              | Some v when v >= 0.0 -> ()
+              | _ ->
+                  failf "workload metric %s missing from serve results"
+                    (String.concat "." path))
+            [
+              [ "workload"; "queueing_ms"; "p50" ];
+              [ "workload"; "e2e_ms"; "p50" ];
+              [ "workload"; "e2e_ms"; "p95" ];
+            ])
   | "chaos" ->
       (* Fault tolerance is a correctness gate, not a tolerance band:
          with retries enabled, anything short of 100% completion means

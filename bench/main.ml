@@ -1285,6 +1285,309 @@ let connection_scale () =
   in
   (json, dropped, mismatched)
 
+(* serve --workload SPEC: the open-loop replay pass.  Unlike the
+   closed-loop clients above (which submit as fast as the server
+   answers, so the arrival rate is whatever the service can absorb),
+   this driver submits request k at its scheduled timestamp no matter
+   how the server is doing — the generator, not the service, decides
+   the arrival process.  Timestamps come from an {!Suu_workload.Arrivals}
+   process (Poisson / bursty / diurnal) or from the submit times of an
+   SWF trace, whose jobs also map to the instances submitted
+   ({!Suu_workload.Swf.instances}).  Per arrival we record queueing
+   (first byte handed to the kernel minus scheduled time — client-side
+   backlog under bursts) and end-to-end latency (full response frame
+   minus scheduled time).  The whole replay runs twice at the same seed
+   and the (id, frame) multisets must be byte-identical; the result is
+   the "workload" section of BENCH_serve.json. *)
+
+let workload_spec : string option ref = ref None
+
+type ol_req = {
+  ol_id : string;
+  ol_bytes : string;
+  ol_scheduled : float; (* seconds from replay start *)
+  mutable ol_sent : float; (* first byte written; -1 until then *)
+  mutable ol_recv : float; (* response frame complete; -1 until then *)
+}
+
+type ol_conn = {
+  ol_fd : Unix.file_descr;
+  ol_pending : ol_req Queue.t; (* released, not yet fully written *)
+  mutable ol_written : int; (* bytes of the head request written *)
+  ol_inbuf : Buffer.t;
+  mutable ol_consumed : int; (* prefix of ol_inbuf already framed *)
+  mutable ol_dead : bool;
+}
+
+let ol_frame_id frame =
+  List.find_map
+    (fun l ->
+      if String.length l > 3 && String.sub l 0 3 = "id " then
+        Some (String.trim (String.sub l 3 (String.length l - 3)))
+      else None)
+    (String.split_on_char '\n' frame)
+
+(* One full replay: submit [reqs] (sorted by [ol_scheduled]) open-loop
+   over [nconns] multiplexed connections, return the (id, frame)
+   responses.  Mutates [ol_sent]/[ol_recv] in place. *)
+let open_loop_run ~port ~nconns ~reqs =
+  let module Reactor = Suu_server.Reactor in
+  let total = Array.length reqs in
+  let by_id = Hashtbl.create (2 * total) in
+  Array.iter (fun q -> Hashtbl.replace by_id q.ol_id q) reqs;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let r = Reactor.create () in
+  let by_fd = Hashtbl.create (2 * nconns) in
+  let conns =
+    Array.init nconns (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+        let st =
+          {
+            ol_fd = fd;
+            ol_pending = Queue.create ();
+            ol_written = 0;
+            ol_inbuf = Buffer.create 1024;
+            ol_consumed = 0;
+            ol_dead = false;
+          }
+        in
+        Hashtbl.replace by_fd fd st;
+        (* write interest absorbs connect completion; the first
+           writable wakeup with an empty queue drops back to read. *)
+        Reactor.add r fd ~read:true ~write:true;
+        st)
+  in
+  let t0 = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. t0 in
+  let completed = ref 0 in
+  let responses = ref [] in
+  let chunk = Bytes.create 65536 in
+  let kill st =
+    if not st.ol_dead then begin
+      st.ol_dead <- true;
+      Reactor.remove r st.ol_fd;
+      (try Unix.close st.ol_fd with Unix.Unix_error _ -> ())
+    end
+  in
+  let rec handle_writable st =
+    if not st.ol_dead then
+      match Queue.peek_opt st.ol_pending with
+      | None -> Reactor.modify r st.ol_fd ~read:true ~write:false
+      | Some req -> (
+          let len = String.length req.ol_bytes in
+          match
+            Unix.write_substring st.ol_fd req.ol_bytes st.ol_written
+              (len - st.ol_written)
+          with
+          | n ->
+              if n > 0 && req.ol_sent < 0.0 then req.ol_sent <- now ();
+              st.ol_written <- st.ol_written + n;
+              if st.ol_written >= len then begin
+                ignore (Queue.pop st.ol_pending);
+                st.ol_written <- 0;
+                handle_writable st
+              end
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ()
+          | exception Unix.Unix_error _ -> kill st)
+  in
+  let drain_frames st =
+    let raw = Buffer.contents st.ol_inbuf in
+    let rest =
+      String.sub raw st.ol_consumed (String.length raw - st.ol_consumed)
+    in
+    List.iter
+      (fun frame ->
+        st.ol_consumed <- st.ol_consumed + String.length frame;
+        match ol_frame_id frame with
+        | Some id -> (
+            match Hashtbl.find_opt by_id id with
+            | Some req when req.ol_recv < 0.0 ->
+                req.ol_recv <- now ();
+                incr completed;
+                responses := (id, frame) :: !responses
+            | _ -> ())
+        | None -> ())
+      (split_frames rest)
+  in
+  let rec handle_readable st =
+    if not st.ol_dead then
+      match Unix.read st.ol_fd chunk 0 (Bytes.length chunk) with
+      | 0 -> kill st
+      | n ->
+          Buffer.add_subbytes st.ol_inbuf chunk 0 n;
+          drain_frames st;
+          handle_readable st
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> kill st
+  in
+  let next = ref 0 in
+  let deadline = 120.0 in
+  while !completed < total && now () < deadline do
+    (* Release every arrival whose scheduled time has come, regardless
+       of server progress — the open-loop property. *)
+    while !next < total && reqs.(!next).ol_scheduled <= now () do
+      let st = conns.(!next mod nconns) in
+      if not st.ol_dead then begin
+        Queue.push reqs.(!next) st.ol_pending;
+        Reactor.modify r st.ol_fd ~read:true ~write:true
+      end;
+      incr next
+    done;
+    let timeout_ms =
+      if !next >= total then 100
+      else
+        let dt = reqs.(!next).ol_scheduled -. now () in
+        max 0 (min 100 (int_of_float (ceil (dt *. 1000.0))))
+    in
+    List.iter
+      (fun (ev : Reactor.event) ->
+        match Hashtbl.find_opt by_fd ev.Reactor.fd with
+        | None -> ()
+        | Some st ->
+            if ev.Reactor.writable then handle_writable st;
+            if ev.Reactor.readable then handle_readable st)
+      (Reactor.wait r ~timeout_ms);
+    if Array.for_all (fun st -> st.ol_dead) conns then completed := total
+  done;
+  Array.iter kill conns;
+  (List.sort compare !responses, now ())
+
+(* Build the arrival schedule and request bodies for a workload spec.
+   SWF traces supply both timestamps and instances; synthetic specs
+   draw timestamps from {!Arrivals} and cycle a fixed instance pool.
+   Long traces are compressed to [target_span] seconds of replay. *)
+let open_loop_requests ~tiny spec =
+  let module A = Suu_workload.Arrivals in
+  let module Swf = Suu_workload.Swf in
+  let module P = Suu_server.Protocol in
+  let times, insts, label =
+    match String.index_opt spec ':' with
+    | Some i when String.lowercase_ascii (String.sub spec 0 i) = "swf" ->
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let trace = Swf.load_file path in
+        let times = Swf.arrival_times trace in
+        let insts = Array.map snd (Swf.instances trace) in
+        (times, insts, Printf.sprintf "swf:%s" (Filename.basename path))
+    | _ -> (
+        match A.spec_of_string spec with
+        | Error msg -> failwith ("bench serve --workload: " ^ msg)
+        | Ok sp ->
+            let count = if tiny then 60 else 240 in
+            let times = A.take (A.create ~seed:11 sp) count in
+            let uniform = W.Uniform { lo = 0.2; hi = 0.95 } in
+            let pool =
+              [|
+                W.independent uniform ~n:12 ~m:4 ~seed:21;
+                W.independent W.Near_one ~n:16 ~m:4 ~seed:22;
+                W.random_chains uniform ~n:12 ~z:3 ~m:4 ~seed:23;
+                W.forest uniform ~n:12 ~trees:2 ~orientation:`Mixed ~m:4
+                  ~seed:24;
+              |]
+            in
+            let insts =
+              Array.init (Array.length times) (fun k ->
+                  pool.(k mod Array.length pool))
+            in
+            (times, insts, A.spec_to_string sp))
+  in
+  let n = Array.length times in
+  if n = 0 then failwith "bench serve --workload: empty arrival schedule";
+  let span = times.(n - 1) in
+  let target_span = if tiny then 3.0 else 8.0 in
+  let compression =
+    if span > target_span then target_span /. span else 1.0
+  in
+  let sim_reps = if tiny then 8 else 24 in
+  let reqs =
+    Array.init n (fun k ->
+        let inst = insts.(k) in
+        let body =
+          if k mod 7 = 3 then
+            P.Simulate { inst; policy = "auto"; reps = sim_reps; seed = k }
+          else if k mod 3 = 1 then P.Describe inst
+          else P.Plan { inst; policy = "auto"; seed = k }
+        in
+        let id = Printf.sprintf "w%d" k in
+        {
+          ol_id = id;
+          ol_bytes =
+            P.request_to_string { P.id = Some id; deadline_ms = None; body };
+          ol_scheduled = times.(k) *. compression;
+          ol_sent = -1.0;
+          ol_recv = -1.0;
+        })
+  in
+  (reqs, label, span, compression)
+
+(* The full pass: fresh server, two identical replays, byte-compare.
+   Returns the JSON object for the "workload" section plus the
+   failure counts the caller aborts on. *)
+let open_loop_replay ~tiny spec =
+  let module Server = Suu_server.Server in
+  note "";
+  section (Printf.sprintf "serve open-loop workload replay: %s" spec);
+  let reqs, label, span, compression = open_loop_requests ~tiny spec in
+  let n = Array.length reqs in
+  let nconns = max 1 (min 16 n) in
+  let config =
+    { Server.default_config with workers = 4; queue_capacity = 4096 }
+  in
+  let server = Server.start ~config () in
+  let port = Server.port server in
+  let responses1, wall = open_loop_run ~port ~nconns ~reqs in
+  let completed = ref 0 in
+  let queueing = ref [] and e2e = ref [] in
+  Array.iter
+    (fun q ->
+      if q.ol_recv >= 0.0 then begin
+        incr completed;
+        queueing := (1000.0 *. (q.ol_sent -. q.ol_scheduled)) :: !queueing;
+        e2e := (1000.0 *. (q.ol_recv -. q.ol_scheduled)) :: !e2e
+      end)
+    reqs;
+  (* Second replay at the same seed/schedule: open-loop traffic must be
+     a deterministic function of (spec, seed) end to end. *)
+  let reqs2 =
+    Array.map (fun q -> { q with ol_sent = -1.0; ol_recv = -1.0 }) reqs
+  in
+  let responses2, _ = open_loop_run ~port ~nconns ~reqs:reqs2 in
+  Server.stop server;
+  let deterministic = responses1 = responses2 in
+  let incomplete = n - !completed in
+  let qarr = Array.of_list !queueing and earr = Array.of_list !e2e in
+  let quant arr p = if Array.length arr = 0 then 0.0 else Summary.quantile arr p in
+  note
+    "workload=%s arrivals=%d completed=%d incomplete=%d span=%.1fs \
+     compression=%.3g wall=%.2fs"
+    label n !completed incomplete span compression wall;
+  note "queueing ms: p50=%.2f p95=%.2f max=%.2f" (quant qarr 0.5)
+    (quant qarr 0.95) (quant qarr 1.0);
+  note "e2e ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f" (quant earr 0.5)
+    (quant earr 0.95) (quant earr 0.99) (quant earr 1.0);
+  note "replay deterministic across two runs: %s"
+    (if deterministic then "yes" else "NO");
+  let json =
+    Printf.sprintf
+      "{\"spec\": %S, \"open_loop\": true, \"arrivals\": %d, \"completed\": \
+       %d, \"incomplete\": %d, \"span_sec\": %.6g, \"compression\": %.6g, \
+       \"wall_sec\": %.6g, \"queueing_ms\": {\"p50\": %.6g, \"p95\": %.6g, \
+       \"max\": %.6g}, \"e2e_ms\": {\"p50\": %.6g, \"p95\": %.6g, \"p99\": \
+       %.6g, \"max\": %.6g}, \"deterministic_replay\": %b}"
+      label n !completed incomplete span compression wall (quant qarr 0.5)
+      (quant qarr 0.95) (quant qarr 1.0) (quant earr 0.5) (quant earr 0.95)
+      (quant earr 0.99) (quant earr 1.0) deterministic
+  in
+  (json, incomplete, deterministic)
+
 let serve_bench () =
   section "serve: suu-serve load test (in-process daemon, closed-loop clients)";
   let module Server = Suu_server.Server in
@@ -1410,6 +1713,11 @@ let serve_bench () =
   let phases_buf = Buffer.create 512 in
   phases_json phases_buf ~indent:2;
   let cs_json, cs_dropped, cs_mismatched = connection_scale () in
+  let wl =
+    match !workload_spec with
+    | None -> None
+    | Some spec -> Some (open_loop_replay ~tiny spec)
+  in
   let buf = Buffer.create 2048 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -1435,6 +1743,10 @@ let serve_bench () =
   bpf "  \"solver\": \"%s\",\n" (cache_stat "solver");
   bpf "  \"deterministic_over_the_wire\": %b,\n" deterministic;
   bpf "  \"connection_scale\": %s,\n" cs_json;
+  (* null when the bench ran without --workload: the gate only audits
+     the open-loop section when a replay actually happened. *)
+  bpf "  \"workload\": %s,\n"
+    (match wl with Some (j, _, _) -> j | None -> "null");
   (* The load-tested server runs in this process, so the registry holds
      its request-phase spans (parse / queue_wait / execute / write). *)
   bpf "  \"phases\": %s\n" (Buffer.contents phases_buf);
@@ -1450,7 +1762,19 @@ let serve_bench () =
     failwith
       (Printf.sprintf
          "serve bench connection-scale: %d dropped, %d mismatched connections"
-         cs_dropped cs_mismatched)
+         cs_dropped cs_mismatched);
+  match wl with
+  | None -> ()
+  | Some (_, incomplete, wl_deterministic) ->
+      if incomplete > 0 then
+        failwith
+          (Printf.sprintf
+             "serve bench workload replay: %d arrivals never completed"
+             incomplete);
+      if not wl_deterministic then
+        failwith
+          "serve bench workload replay: responses differ across two runs at \
+           the same seed"
 
 (* ------------------------------------------------------------------ *)
 (* chaos — the fault-tolerance harness: an in-process server with the
@@ -2227,6 +2551,14 @@ let () =
             exit 2)
     | "--connections" :: [] ->
         prerr_endline "--connections expects a positive integer";
+        exit 2
+    | "--workload" :: spec :: rest ->
+        workload_spec := Some spec;
+        parse acc rest
+    | "--workload" :: [] ->
+        prerr_endline
+          "--workload expects a spec: swf:FILE | poisson:RATE | bursty | \
+           diurnal";
         exit 2
     | a :: rest -> parse (a :: acc) rest
   in

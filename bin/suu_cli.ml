@@ -708,6 +708,115 @@ let store_cmd =
   in
   Cmd.group (Cmd.info "store" ~doc) [ stats_cmd ]
 
+(* --- workload: SWF trace inspection and conversion --- *)
+
+let workload_inspect file =
+  match Suu_workload.Swf.load_file file with
+  | exception (Failure msg | Sys_error msg) -> Error (`Msg msg)
+  | trace ->
+      let module Swf = Suu_workload.Swf in
+      List.iter
+        (fun (k, v) -> Printf.printf "; %s: %s\n" k v)
+        trace.Swf.directives;
+      let st = Swf.stats trace in
+      Printf.printf "jobs %d\n" st.Swf.n_jobs;
+      Printf.printf "users %d\n" st.Swf.n_users;
+      Printf.printf "span_sec %g\n" st.Swf.span;
+      Printf.printf "max_procs %d\n" st.Swf.max_procs;
+      Printf.printf "mean_procs %.3g\n" st.Swf.mean_procs;
+      Printf.printf "mean_runtime_sec %.6g\n" st.Swf.mean_runtime;
+      Printf.printf "max_runtime_sec %.6g\n" st.Swf.max_runtime;
+      Ok ()
+
+let workload_convert file out m max_width seed =
+  let module Swf = Suu_workload.Swf in
+  match Swf.load_file file with
+  | exception (Failure msg | Sys_error msg) -> Error (`Msg msg)
+  | trace -> (
+      try
+        if not (Sys.file_exists out) then Unix.mkdir out 0o755
+        else if not (Sys.is_directory out) then
+          failwith (out ^ " exists and is not a directory");
+        let mapping =
+          { Swf.default_mapping with m; max_width; seed }
+        in
+        let pairs = Swf.instances ~mapping trace in
+        Array.iter
+          (fun ((job : Swf.job), inst) ->
+            let path =
+              Filename.concat out (Printf.sprintf "job%04d.suu" job.Swf.id)
+            in
+            Suu_core.Instance_io.save_file path inst)
+          pairs;
+        Printf.printf "converted %d jobs -> %s (m=%d max-width=%d seed=%d)\n"
+          (Array.length pairs) out m max_width seed;
+        Ok ()
+      with
+      | Failure msg | Sys_error msg -> Error (`Msg msg)
+      | Unix.Unix_error (e, fn, arg) ->
+          Error (`Msg (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))))
+
+let workload_cmd =
+  let doc = "Inspect and convert Standard Workload Format traces." in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"SWF trace file.")
+  in
+  let inspect_cmd =
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:
+           "Print the trace's header directives and summary statistics \
+            (jobs, users, span, processor and runtime distributions).")
+      Term.(term_result (const workload_inspect $ file))
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "swf-out"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Output directory for the converted instances (created if \
+                missing).")
+  in
+  let m =
+    Arg.(
+      value
+      & opt int Suu_workload.Swf.default_mapping.Suu_workload.Swf.m
+      & info [ "m"; "machines" ] ~docv:"M"
+          ~doc:"Machines per generated instance.")
+  in
+  let max_width =
+    Arg.(
+      value
+      & opt int Suu_workload.Swf.default_mapping.Suu_workload.Swf.max_width
+      & info [ "max-width" ] ~docv:"N"
+          ~doc:"Cap on sub-jobs per instance (allocated processors above \
+                this are clamped).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed for the trace-to-instance mapping; the \
+                conversion is a deterministic function of (trace, options).")
+  in
+  let convert_cmd =
+    Cmd.v
+      (Cmd.info "convert"
+         ~doc:
+           "Map every trace job to a SUU instance (runtime-calibrated \
+            failure matrix, processor-count width, per-user DAG template) \
+            and save them as .suu files, one per job.  Deterministic: the \
+            same trace and options always produce byte-identical files.")
+      Term.(
+        term_result
+          (const workload_convert $ file $ out $ m $ max_width $ seed))
+  in
+  Cmd.group (Cmd.info "workload" ~doc) [ inspect_cmd; convert_cmd ]
+
 (* --- client --- *)
 
 let action_conv =
@@ -847,4 +956,5 @@ let () =
           [
             describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd;
             serve_cmd; router_cmd; client_cmd; replay_cmd; store_cmd;
+            workload_cmd;
           ]))

@@ -7,9 +7,15 @@ type t = {
   max : float;
 }
 
+let check_no_nan name xs =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN in sample"))
+    xs
+
 let of_array xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.of_array: empty";
+  check_no_nan "Summary.of_array" xs;
   (* Welford's online mean/variance. *)
   let mean = ref 0.0 and m2 = ref 0.0 in
   let mn = ref xs.(0) and mx = ref xs.(0) in
@@ -39,8 +45,12 @@ let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q out of range";
+  check_no_nan "Summary.quantile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the latter gives an
+     unspecified order in the presence of NaN (rejected above) and
+     boxes every comparison. *)
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in
   let hi = int_of_float (ceil pos) in

@@ -11,7 +11,9 @@ type t = {
 
 val of_array : float array -> t
 (** [of_array xs] summarizes [xs].  Raises [Invalid_argument] on an empty
-    array.  Uses Welford's single-pass algorithm for numerical stability. *)
+    array or on a sample containing NaN (e.g. the [ci95] of an [n = 1]
+    summary fed back in).  Uses Welford's single-pass algorithm for
+    numerical stability. *)
 
 val of_list : float list -> t
 
@@ -20,7 +22,9 @@ val mean : float array -> float
 
 val quantile : float array -> float -> float
 (** [quantile xs q] is the [q]-quantile of [xs] for [q] in [0,1], by linear
-    interpolation between order statistics.  Does not mutate [xs]. *)
+    interpolation between order statistics.  Does not mutate [xs].
+    Raises [Invalid_argument] if [xs] is empty, [q] is out of range, or
+    the sample contains NaN. *)
 
 val pp : Format.formatter -> t -> unit
 (** [pp fmt t] prints ["mean ± ci95 (n=..)"]. *)

@@ -1,0 +1,206 @@
+module Rng = Suu_prng.Rng
+
+type spec =
+  | Poisson of { rate : float }
+  | Bursty of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+    }
+  | Diurnal of { mean_rate : float; period : float; amplitude : float }
+  | Trace of float array
+
+type state =
+  | S_poisson of { rate : float }
+  | S_bursty of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+      mutable on : bool;
+      mutable phase_end : float;  (* when the current on/off sojourn ends *)
+    }
+  | S_diurnal of { mean_rate : float; period : float; amplitude : float }
+  | S_trace of { times : float array; mutable pos : int }
+
+type t = { rng : Rng.t; mutable now : float; state : state }
+
+let pi = 4.0 *. atan 1.0
+
+let validate_rate name r =
+  if not (r > 0.0 && Float.is_finite r) then
+    invalid_arg (Printf.sprintf "Arrivals.create: %s must be positive" name)
+
+let create ?(seed = 0) spec =
+  let rng = Rng.create ~seed in
+  let state =
+    match spec with
+    | Poisson { rate } ->
+        validate_rate "rate" rate;
+        S_poisson { rate }
+    | Bursty { rate_on; rate_off; mean_on; mean_off } ->
+        validate_rate "rate_on" rate_on;
+        validate_rate "rate_off" rate_off;
+        validate_rate "mean_on" mean_on;
+        validate_rate "mean_off" mean_off;
+        (* Start in a burst; the first sojourn is drawn like the rest. *)
+        S_bursty
+          {
+            rate_on;
+            rate_off;
+            mean_on;
+            mean_off;
+            on = true;
+            phase_end = Rng.exponential rng ~rate:(1.0 /. mean_on);
+          }
+    | Diurnal { mean_rate; period; amplitude } ->
+        validate_rate "mean_rate" mean_rate;
+        validate_rate "period" period;
+        if not (0.0 <= amplitude && amplitude <= 1.0) then
+          invalid_arg "Arrivals.create: amplitude must be in [0, 1]";
+        S_diurnal { mean_rate; period; amplitude }
+    | Trace times ->
+        Array.iteri
+          (fun i at ->
+            if not (Float.is_finite at) || at < 0.0
+               || (i > 0 && at < times.(i - 1))
+            then
+              invalid_arg
+                "Arrivals.create: trace times must be non-negative and \
+                 non-decreasing")
+          times;
+        S_trace { times; pos = 0 }
+  in
+  { rng; now = 0.0; state }
+
+let next_arrival t =
+  match t.state with
+  | S_poisson { rate } ->
+      t.now <- t.now +. Rng.exponential t.rng ~rate;
+      Some t.now
+  | S_bursty b ->
+      (* Draw a candidate inter-arrival at the current phase's rate; if
+         it lands past the phase boundary, restart the draw from the
+         boundary in the next phase (memorylessness makes this exact). *)
+      let rec step () =
+        let rate = if b.on then b.rate_on else b.rate_off in
+        let candidate = t.now +. Rng.exponential t.rng ~rate in
+        if candidate <= b.phase_end then begin
+          t.now <- candidate;
+          t.now
+        end
+        else begin
+          t.now <- b.phase_end;
+          b.on <- not b.on;
+          let mean = if b.on then b.mean_on else b.mean_off in
+          b.phase_end <- b.phase_end +. Rng.exponential t.rng ~rate:(1.0 /. mean);
+          step ()
+        end
+      in
+      Some (step ())
+  | S_diurnal d ->
+      (* Thinning: candidates at the peak rate, kept with probability
+         rate(t)/peak. *)
+      let peak = d.mean_rate *. (1.0 +. d.amplitude) in
+      let rec step () =
+        t.now <- t.now +. Rng.exponential t.rng ~rate:peak;
+        let rate_now =
+          d.mean_rate
+          *. (1.0 +. (d.amplitude *. sin (2.0 *. pi *. t.now /. d.period)))
+        in
+        if Rng.uniform_open t.rng <= rate_now /. peak then t.now else step ()
+      in
+      Some (step ())
+  | S_trace tr ->
+      if tr.pos >= Array.length tr.times then None
+      else begin
+        let at = tr.times.(tr.pos) in
+        tr.pos <- tr.pos + 1;
+        t.now <- at;
+        Some at
+      end
+
+let take t k =
+  let out = ref [] and n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < k do
+    match next_arrival t with
+    | Some at ->
+        out := at :: !out;
+        incr n
+    | None -> continue := false
+  done;
+  Array.of_list (List.rev !out)
+
+let parse_floats name parts defaults =
+  let arity = Array.length defaults in
+  if List.length parts > arity then
+    Error (Printf.sprintf "%s takes at most %d parameters" name arity)
+  else
+    let out = Array.copy defaults in
+    let rec go i = function
+      | [] -> Ok out
+      | p :: rest -> (
+          match float_of_string_opt p with
+          | Some v ->
+              out.(i) <- v;
+              go (i + 1) rest
+          | None -> Error (Printf.sprintf "%s: bad number %S" name p))
+    in
+    go 0 parts
+
+let spec_of_string s =
+  let prefix, rest =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> (s, "")
+  in
+  let params =
+    if rest = "" then []
+    else String.split_on_char ':' rest
+  in
+  let guard spec =
+    match create spec with
+    | _ -> Ok spec
+    | exception Invalid_argument msg -> Error msg
+  in
+  match String.lowercase_ascii prefix with
+  | "poisson" -> (
+      match params with
+      | [ r ] -> (
+          match float_of_string_opt r with
+          | Some rate -> guard (Poisson { rate })
+          | None -> Error (Printf.sprintf "poisson: bad rate %S" r))
+      | _ -> Error "poisson takes exactly one parameter: poisson:RATE")
+  | "bursty" -> (
+      match parse_floats "bursty" params [| 20.0; 0.5; 2.0; 8.0 |] with
+      | Error _ as e -> e
+      | Ok [| rate_on; rate_off; mean_on; mean_off |] ->
+          guard (Bursty { rate_on; rate_off; mean_on; mean_off })
+      | Ok _ -> assert false)
+  | "diurnal" -> (
+      match parse_floats "diurnal" params [| 5.0; 60.0; 0.8 |] with
+      | Error _ as e -> e
+      | Ok [| mean_rate; period; amplitude |] ->
+          guard (Diurnal { mean_rate; period; amplitude })
+      | Ok _ -> assert false)
+  | "swf" ->
+      if rest = "" then Error "swf requires a file: swf:FILE"
+      else guard (Trace (Swf.arrival_times (Swf.load_file rest)))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown workload %S (expected swf:FILE, poisson:RATE, bursty, \
+            diurnal)"
+           s)
+
+let spec_to_string = function
+  | Poisson { rate } -> Printf.sprintf "poisson:%g" rate
+  | Bursty { rate_on; rate_off; mean_on; mean_off } ->
+      Printf.sprintf "bursty:%g:%g:%g:%g" rate_on rate_off mean_on mean_off
+  | Diurnal { mean_rate; period; amplitude } ->
+      Printf.sprintf "diurnal:%g:%g:%g" mean_rate period amplitude
+  | Trace times -> Printf.sprintf "trace:%d arrivals" (Array.length times)

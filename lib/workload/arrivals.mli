@@ -1,0 +1,71 @@
+(** Deterministic arrival processes for open-loop load generation.
+
+    An arrival process yields a non-decreasing sequence of arrival
+    timestamps (seconds from the start of the run).  Synthetic
+    processes (Poisson, bursty, diurnal) are infinite and fully
+    determined by [(spec, seed)]; the [Trace] source replays a finite
+    list of recorded submit times (e.g. {!Swf.arrival_times}) and ends.
+
+    Open-loop means the generator decides {e when} requests fire —
+    clients submit at these timestamps regardless of how fast the
+    server answers — as opposed to the closed-loop as-fast-as-possible
+    clients the serve bench used before. *)
+
+type spec =
+  | Poisson of { rate : float }
+      (** homogeneous Poisson: i.i.d. exponential inter-arrivals with
+          mean [1/rate] (arrivals per second) *)
+  | Bursty of {
+      rate_on : float;  (** arrival rate inside a burst *)
+      rate_off : float;  (** arrival rate between bursts *)
+      mean_on : float;  (** mean burst duration, seconds *)
+      mean_off : float;  (** mean gap duration, seconds *)
+    }
+      (** two-state MMPP: an on/off modulating chain with exponential
+          sojourns; Poisson arrivals at [rate_on] while on, [rate_off]
+          while off *)
+  | Diurnal of {
+      mean_rate : float;  (** time-averaged arrival rate *)
+      period : float;  (** cycle length, seconds (a scaled "day") *)
+      amplitude : float;
+          (** relative swing in [[0, 1]]: instantaneous rate is
+              [mean_rate * (1 + amplitude * sin(2πt/period))] *)
+    }
+      (** nonhomogeneous Poisson with a sinusoidal rate curve, sampled
+          by thinning *)
+  | Trace of float array
+      (** replay recorded timestamps; must be non-decreasing and
+          non-negative (see {!Swf.arrival_times}) *)
+
+type t
+
+val create : ?seed:int -> spec -> t
+(** [seed] defaults to [0].  Two processes created from equal
+    [(spec, seed)] yield identical arrival sequences. *)
+
+val next_arrival : t -> float option
+(** The next arrival timestamp, in seconds from time 0.  Timestamps
+    are non-decreasing across calls.  [None] once a [Trace] source is
+    exhausted; synthetic sources never return [None]. *)
+
+val take : t -> int -> float array
+(** [take t k] collects up to [k] further arrivals (fewer only when
+    the source runs dry). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a CLI workload spec:
+    - ["poisson:RATE"] (arrivals/second);
+    - ["bursty"] or ["bursty:RON:ROFF:TON:TOFF"]
+      (defaults [20:0.5:2:8]);
+    - ["diurnal"] or ["diurnal:RATE:PERIOD:AMP"]
+      (defaults [5:60:0.8]);
+    - ["swf:FILE"] — load [FILE] as an SWF trace and replay its
+      submit times.
+
+    [Error msg] on an unknown form or out-of-range parameter; loading
+    the SWF file may also raise ([Failure]/[Sys_error]) as in
+    {!Swf.load_file}. *)
+
+val spec_to_string : spec -> string
+(** Canonical rendering of the spec (a [Trace] prints as
+    ["trace:<n> arrivals"]), for bench metadata. *)

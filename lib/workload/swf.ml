@@ -1,0 +1,370 @@
+module Rng = Suu_prng.Rng
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+type job = {
+  id : int;
+  submit : float;
+  wait : float;
+  runtime : float;
+  procs : int;
+  cpu_used : float;
+  mem_used : float;
+  req_procs : int;
+  req_time : float;
+  req_mem : float;
+  status : int;
+  user : int;
+  group : int;
+  executable : int;
+  queue : int;
+  partition : int;
+  prec_job : int;
+  think_time : float;
+}
+
+type t = { directives : (string * string) list; jobs : job array }
+
+let fail_at line msg = failwith (Printf.sprintf "Swf: line %d: %s" line msg)
+
+(* The 18 SWF fields, in order, named for error messages. *)
+let field_names =
+  [|
+    "job number"; "submit time"; "wait time"; "run time";
+    "allocated processors"; "average cpu time"; "used memory";
+    "requested processors"; "requested time"; "requested memory"; "status";
+    "user id"; "group id"; "executable"; "queue"; "partition";
+    "preceding job"; "think time";
+  |]
+
+let split_fields line =
+  (* Archive traces mix spaces and tabs, often with column alignment. *)
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_float ~lineno ~field s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None ->
+      fail_at lineno
+        (Printf.sprintf "field %d (%s): expected a number, got %S" (field + 1)
+           field_names.(field) s)
+
+let parse_int_field ~lineno ~field s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None ->
+      (* Converted traces sometimes write integral fields as "12.0". *)
+      let f = parse_float ~lineno ~field s in
+      if Float.is_integer f then int_of_float f
+      else
+        fail_at lineno
+          (Printf.sprintf "field %d (%s): expected an integer, got %S"
+             (field + 1) field_names.(field) s)
+
+let parse_line ~lineno line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = ';' then None
+  else
+    let fields = Array.of_list (split_fields trimmed) in
+    let got = Array.length fields in
+    if got <> 18 then
+      fail_at lineno (Printf.sprintf "expected 18 fields, got %d" got);
+    let fl k = parse_float ~lineno ~field:k fields.(k) in
+    let it k = parse_int_field ~lineno ~field:k fields.(k) in
+    Some
+      {
+        id = it 0;
+        submit = fl 1;
+        wait = fl 2;
+        runtime = fl 3;
+        procs = it 4;
+        cpu_used = fl 5;
+        mem_used = fl 6;
+        req_procs = it 7;
+        req_time = fl 8;
+        req_mem = fl 9;
+        status = it 10;
+        user = it 11;
+        group = it 12;
+        executable = it 13;
+        queue = it 14;
+        partition = it 15;
+        prec_job = it 16;
+        think_time = fl 17;
+      }
+
+(* [; Key: value] -> Some (key, value); plain comments -> None. *)
+let parse_directive line =
+  let trimmed = String.trim line in
+  if String.length trimmed < 2 || trimmed.[0] <> ';' then None
+  else
+    let body = String.trim (String.sub trimmed 1 (String.length trimmed - 1)) in
+    match String.index_opt body ':' with
+    | Some i when i > 0 ->
+        let key = String.trim (String.sub body 0 i) in
+        let value =
+          String.trim (String.sub body (i + 1) (String.length body - i - 1))
+        in
+        if key <> "" && String.for_all (fun c -> c <> ' ') key then
+          Some (key, value)
+        else None
+    | _ -> None
+
+let fold ~next_line ~init ~f =
+  let rec go acc lineno =
+    match next_line () with
+    | None -> acc
+    | Some line ->
+        let acc =
+          match parse_line ~lineno line with
+          | Some job -> f acc job
+          | None -> acc
+        in
+        go acc (lineno + 1)
+  in
+  go init 1
+
+(* Full parse: one streaming pass collecting directives and jobs. *)
+let of_lines next_line =
+  let directives = ref [] and jobs = ref [] in
+  let lineno = ref 0 in
+  let wrapped () =
+    match next_line () with
+    | None -> None
+    | Some line ->
+        incr lineno;
+        (match parse_directive line with
+        | Some d -> directives := d :: !directives
+        | None -> ());
+        Some line
+  in
+  fold ~next_line:wrapped ~init:() ~f:(fun () job -> jobs := job :: !jobs);
+  {
+    directives = List.rev !directives;
+    jobs = Array.of_list (List.rev !jobs);
+  }
+
+let of_string text =
+  let lines = ref (String.split_on_char '\n' text) in
+  (* A trailing newline yields one final empty pseudo-line; harmless. *)
+  of_lines (fun () ->
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+          lines := rest;
+          Some l)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_lines (fun () -> In_channel.input_line ic))
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let job_to_line j =
+  String.concat " "
+    [
+      string_of_int j.id; fmt_num j.submit; fmt_num j.wait; fmt_num j.runtime;
+      string_of_int j.procs; fmt_num j.cpu_used; fmt_num j.mem_used;
+      string_of_int j.req_procs; fmt_num j.req_time; fmt_num j.req_mem;
+      string_of_int j.status; string_of_int j.user; string_of_int j.group;
+      string_of_int j.executable; string_of_int j.queue;
+      string_of_int j.partition; string_of_int j.prec_job;
+      fmt_num j.think_time;
+    ]
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "; %s: %s\n" k v))
+    t.directives;
+  Array.iter
+    (fun j ->
+      Buffer.add_string buf (job_to_line j);
+      Buffer.add_char buf '\n')
+    t.jobs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Trace statistics. *)
+
+type stats = {
+  n_jobs : int;
+  n_users : int;
+  span : float;
+  max_procs : int;
+  mean_procs : float;
+  mean_runtime : float;
+  max_runtime : float;
+}
+
+let known_procs j = if j.procs > 0 then j.procs else max j.req_procs 1
+
+let stats t =
+  let n = Array.length t.jobs in
+  if n = 0 then invalid_arg "Swf.stats: empty trace";
+  let users = Hashtbl.create 64 in
+  let sum_procs = ref 0 and max_procs = ref 0 in
+  let sum_rt = ref 0.0 and n_rt = ref 0 and max_rt = ref 0.0 in
+  let first = ref t.jobs.(0).submit and last = ref t.jobs.(0).submit in
+  Array.iter
+    (fun j ->
+      Hashtbl.replace users j.user ();
+      let p = known_procs j in
+      sum_procs := !sum_procs + p;
+      if p > !max_procs then max_procs := p;
+      if j.runtime >= 0.0 then begin
+        sum_rt := !sum_rt +. j.runtime;
+        incr n_rt;
+        if j.runtime > !max_rt then max_rt := j.runtime
+      end;
+      if j.submit < !first then first := j.submit;
+      if j.submit > !last then last := j.submit)
+    t.jobs;
+  {
+    n_jobs = n;
+    n_users = Hashtbl.length users;
+    span = !last -. !first;
+    max_procs = !max_procs;
+    mean_procs = float_of_int !sum_procs /. float_of_int n;
+    mean_runtime =
+      (if !n_rt > 0 then !sum_rt /. float_of_int !n_rt else 0.0);
+    max_runtime = !max_rt;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mapping onto SUU instances. *)
+
+type mapping = { m : int; max_width : int; seed : int; runtime_ref : float }
+
+let default_mapping = { m = 4; max_width = 12; seed = 0; runtime_ref = 0.0 }
+
+(* Independent per-purpose RNGs, each seeded by mixing the master seed
+   with a tag and the job id: mapping one job never depends on how
+   many drew before it, so a partial replay maps jobs identically to a
+   full one. *)
+let derived_rng ~seed ~tag ~salt =
+  Rng.create ~seed:((seed * 0x3779_6A35) lxor (tag * 0x9E37) lxor salt)
+
+let calibrate mapping t =
+  if mapping.m <= 0 then invalid_arg "Swf.calibrate: m must be positive";
+  ignore t;
+  let rng = derived_rng ~seed:mapping.seed ~tag:1 ~salt:0 in
+  Array.init mapping.m (fun _ -> Rng.range rng ~lo:0.3 ~hi:2.0)
+
+(* ease_j in (0, ~1.6]: runtime_ref maps to 1; each e-fold of runtime
+   beyond it shaves the exponent, pushing q_ij = 0.6^(speed*ease)
+   toward 1 — longer recorded runtimes mean more failure mass on every
+   machine, hence more repetitions for the SUU policies to cover. *)
+let ease ~runtime_ref ~runtime =
+  let rt = Float.max runtime 1.0 in
+  let r = Float.max runtime_ref 1.0 in
+  1.0 /. (1.0 +. (0.35 *. log (1.0 +. (rt /. r))))
+
+let width mapping j = max 1 (min (known_procs j) mapping.max_width)
+
+let instance_of_job mapping ~speeds ~chain_user j =
+  if Array.length speeds <> mapping.m then
+    invalid_arg "Swf.instance_of_job: speeds/m mismatch";
+  let n = width mapping j in
+  let runtime_ref =
+    if mapping.runtime_ref > 0.0 then mapping.runtime_ref else 3600.0
+  in
+  let e = ease ~runtime_ref ~runtime:j.runtime in
+  let rng = derived_rng ~seed:mapping.seed ~tag:2 ~salt:j.id in
+  let q =
+    Array.init mapping.m (fun i ->
+        Array.init n (fun _ ->
+            (* Product-model mass around the calibrated center, jittered
+               per sub-job so the matrix is not rank one. *)
+            let jitter = Rng.range rng ~lo:0.85 ~hi:1.15 in
+            let v = Float.pow 0.6 (speeds.(i) *. e *. jitter) in
+            Float.min v 0.995))
+  in
+  let template, edges =
+    if n = 1 then ("ind", [])
+    else if chain_user then
+      ("chain", List.init (n - 1) (fun k -> (k, k + 1)))
+    else
+      (* MapReduce fan-in: sub-jobs 0..n-2 all feed the final job. *)
+      ("mapred", List.init (n - 1) (fun k -> (k, n - 1)))
+  in
+  let name =
+    Printf.sprintf "swf-j%d-u%d-%s-n%d-m%d-s%d" j.id j.user template n
+      mapping.m mapping.seed
+  in
+  Instance.make ~name ~dag:(Dag.of_edges ~n edges) q
+
+(* A user is "sequential" when their mean allocated width over the
+   trace stays at or below the all-user median width: such users
+   submit chain-structured instances, wide users mapreduce fan-ins. *)
+let chain_users t =
+  let sums = Hashtbl.create 64 in
+  Array.iter
+    (fun j ->
+      let s, c =
+        match Hashtbl.find_opt sums j.user with
+        | Some (s, c) -> (s, c)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace sums j.user (s + known_procs j, c + 1))
+    t.jobs;
+  let means =
+    Hashtbl.fold
+      (fun user (s, c) acc ->
+        (user, float_of_int s /. float_of_int c) :: acc)
+      sums []
+  in
+  let widths = Array.of_list (List.map snd means) in
+  Array.sort Float.compare widths;
+  let median =
+    let k = Array.length widths in
+    if k = 0 then 1.0 else widths.((k - 1) / 2)
+  in
+  let chains = Hashtbl.create 64 in
+  List.iter
+    (fun (user, mean) -> Hashtbl.replace chains user (mean <= median))
+    means;
+  chains
+
+let instances ?(mapping = default_mapping) t =
+  let mapping =
+    if mapping.runtime_ref > 0.0 then mapping
+    else
+      { mapping with
+        runtime_ref =
+          (if Array.length t.jobs = 0 then 3600.0
+           else Float.max (stats t).mean_runtime 1.0) }
+  in
+  let speeds = calibrate mapping t in
+  let chains = chain_users t in
+  Array.map
+    (fun j ->
+      let chain_user =
+        match Hashtbl.find_opt chains j.user with
+        | Some b -> b
+        | None -> true
+      in
+      (j, instance_of_job mapping ~speeds ~chain_user j))
+    t.jobs
+
+let arrival_times t =
+  let n = Array.length t.jobs in
+  if n = 0 then [||]
+  else begin
+    let t0 = t.jobs.(0).submit in
+    let out = Array.make n 0.0 in
+    let prev = ref 0.0 in
+    Array.iteri
+      (fun k j ->
+        let at = Float.max (j.submit -. t0) !prev in
+        out.(k) <- at;
+        prev := at)
+      t.jobs;
+    out
+  end

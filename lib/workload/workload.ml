@@ -31,8 +31,12 @@ let q_matrix hazard ~m ~n rng =
   let q = Array.make_matrix m n 0.0 in
   (match hazard with
   | Uniform { lo; hi } ->
-      if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
-        invalid_arg "Workload: bad uniform range";
+      (* [hi < 1.0] strictly: [Rng.range] is documented never to return
+         [hi], but the closing float addition can round up to it, and a
+         [q_ij = 1.0] entry would defeat the solvability repair below
+         (which only fires when a whole column is at 1.0). *)
+      if not (0.0 <= lo && lo <= hi && hi < 1.0) then
+        invalid_arg "Workload: bad uniform range (need 0 <= lo <= hi < 1)";
       for i = 0 to m - 1 do
         for j = 0 to n - 1 do
           q.(i).(j) <- Rng.range rng ~lo ~hi
@@ -116,8 +120,19 @@ let random_chains hazard ~n ~z ~m ~seed =
   if z <= 0 || n < z then invalid_arg "Workload.random_chains: bad shape";
   let rng = Rng.create ~seed in
   let q = q_matrix hazard ~m ~n rng in
-  (* Split [0, n) into z nonempty runs at z-1 random cut points. *)
-  let cuts = Array.init (z - 1) (fun _ -> 1 + Rng.int rng (n - 1)) in
+  (* Split [0, n) into z nonempty runs at z-1 *distinct* cut points:
+     a partial Fisher–Yates over the n-1 candidate positions.  Drawing
+     with replacement here used to merge runs on duplicate cuts,
+     yielding fewer than z chains. *)
+  let candidates = Array.init (n - 1) (fun k -> k + 1) in
+  let cuts =
+    Array.init (z - 1) (fun k ->
+        let r = k + Rng.int rng (n - 1 - k) in
+        let tmp = candidates.(k) in
+        candidates.(k) <- candidates.(r);
+        candidates.(r) <- tmp;
+        candidates.(k))
+  in
   Array.sort compare cuts;
   let boundaries = Array.to_list cuts @ [ n ] in
   let edges = ref [] in

@@ -33,8 +33,17 @@ val default_hazards : hazard list
 
 val q_matrix :
   hazard -> m:int -> n:int -> Suu_prng.Rng.t -> float array array
-(** [q_matrix hazard ~m ~n rng] draws an [m x n] failure matrix.  Every
-    job is guaranteed at least one machine with [q < 1]. *)
+(** [q_matrix hazard ~m ~n rng] draws an [m x n] failure matrix.
+
+    {b Invariant:} every job has at least one machine with [q < 1],
+    so every generated instance is schedulable (finite expected
+    makespan).  Two mechanisms uphold it: a repair pass overwrites one
+    random entry of any all-ones column with [0.5], and — because
+    floating-point rounding lets [Rng.range ~lo ~hi] occasionally
+    return exactly [hi], which would slip a stray [1.0] past the
+    repair — [Uniform] requires [hi < 1.0] strictly
+    ([Invalid_argument] otherwise).  Use [Near_one] for
+    worst-case-adjacent hazards instead of [Uniform] with [hi = 1]. *)
 
 val independent : hazard -> n:int -> m:int -> seed:int -> Suu_core.Instance.t
 (** Independent jobs (SUU-I). *)
@@ -46,7 +55,8 @@ val chains :
 
 val random_chains :
   hazard -> n:int -> z:int -> m:int -> seed:int -> Suu_core.Instance.t
-(** [n] jobs split into [z] chains of random (geometric-ish) lengths. *)
+(** [n] jobs split into exactly [z] nonempty chains at [z - 1]
+    distinct random cut points. *)
 
 val forest :
   hazard ->

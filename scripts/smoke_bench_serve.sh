@@ -8,8 +8,13 @@
 
 ulimit -n 4096 2>/dev/null || true
 
-SUU_PERF_SCALE=tiny "$BENCH" serve --connections "${CONNECTIONS:-500}"
+SUU_PERF_SCALE=tiny "$BENCH" serve --connections "${CONNECTIONS:-500}" \
+  --workload "${WORKLOAD:-swf:bench/workloads/sample20.swf}"
 test -s BENCH_serve.json
 grep -q '"deterministic_over_the_wire": true' BENCH_serve.json
 grep -q '"dropped": 0' BENCH_serve.json
 grep -q '"mismatched": 0' BENCH_serve.json
+# open-loop replay section: gated downstream by gate.exe (completion,
+# determinism, latency quantiles present)
+grep -q '"deterministic_replay": true' BENCH_serve.json
+grep -q '"incomplete": 0' BENCH_serve.json

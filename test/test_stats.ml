@@ -48,6 +48,23 @@ let test_quantile () =
 let test_quantile_interpolation () =
   checkf "interpolated" 1.5 (Summary.quantile [| 1.0; 2.0 |] 0.5)
 
+(* Regression: the sort used to be polymorphic [compare], whose order
+   with NaN present is unspecified — a NaN (e.g. the ci95 of an n=1
+   summary fed back in) silently produced garbage quantiles.  NaN is
+   now rejected up front, in both entry points. *)
+let test_nan_rejected () =
+  Alcotest.check_raises "quantile NaN"
+    (Invalid_argument "Summary.quantile: NaN in sample") (fun () ->
+      ignore (Summary.quantile [| 1.0; Float.nan; 2.0 |] 0.5));
+  Alcotest.check_raises "of_array NaN"
+    (Invalid_argument "Summary.of_array: NaN in sample") (fun () ->
+      ignore (Summary.of_array [| (Summary.of_array [| 7.0 |]).ci95 |]));
+  (* negatives and infinities still sort correctly *)
+  checkf "negative median" (-1.0)
+    (Summary.quantile [| 3.0; -5.0; -1.0 |] 0.5);
+  checkf "inf max" Float.infinity
+    (Summary.quantile [| 1.0; Float.infinity; 0.0 |] 1.0)
+
 let test_ols_exact_line () =
   let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
   let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
@@ -121,6 +138,7 @@ let () =
           Alcotest.test_case "order statistics" `Quick test_quantile;
           Alcotest.test_case "interpolation" `Quick
             test_quantile_interpolation;
+          Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
         ] );
       ( "fit",
         [

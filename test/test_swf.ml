@@ -1,0 +1,281 @@
+(* Tests for SWF trace ingestion and the arrival processes: parse
+   round-trips, located errors, trace-to-instance determinism, and
+   statistical sanity of the synthetic arrival generators. *)
+
+module Swf = Suu_workload.Swf
+module A = Suu_workload.Arrivals
+module Instance = Suu_core.Instance
+
+let sample =
+  "; Version: 2.2\n\
+   ; MaxProcs: 8\n\
+   ; a plain comment, not a directive\n\
+   1 0 5 120 1 110 512 1 300 1024 1 1 1 1 1 1 -1 -1\n\
+   2 30 12 3600 4 3500 2048 4 7200 4096 1 3 1 2 1 1 -1 -1\n\
+   3 95 0 45 1 40 256 1 60 512 1 2 1 3 1 1 -1 10.5\n"
+
+let test_parse_basic () =
+  let t = Swf.of_string sample in
+  Alcotest.(check int) "jobs" 3 (Array.length t.Swf.jobs);
+  Alcotest.(check (list (pair string string)))
+    "directives"
+    [ ("Version", "2.2"); ("MaxProcs", "8") ]
+    t.Swf.directives;
+  let j = t.Swf.jobs.(1) in
+  Alcotest.(check int) "id" 2 j.Swf.id;
+  Alcotest.(check (float 0.0)) "submit" 30.0 j.Swf.submit;
+  Alcotest.(check (float 0.0)) "runtime" 3600.0 j.Swf.runtime;
+  Alcotest.(check int) "procs" 4 j.Swf.procs;
+  Alcotest.(check int) "user" 3 j.Swf.user;
+  Alcotest.(check (float 0.0)) "think" 10.5 t.Swf.jobs.(2).Swf.think_time
+
+let test_roundtrip_fixed () =
+  let t = Swf.of_string sample in
+  let t' = Swf.of_string (Swf.to_string t) in
+  Alcotest.(check bool) "of_string . to_string = id" true (t = t')
+
+let check_located_failure name input expected_substring =
+  match Swf.of_string input with
+  | _ -> Alcotest.fail (name ^ ": expected a parse failure")
+  | exception Failure msg ->
+      if
+        not
+          (String.length msg >= String.length expected_substring
+          && String.sub msg 0 (String.length expected_substring)
+             = expected_substring)
+      then
+        Alcotest.failf "%s: error %S does not start with %S" name msg
+          expected_substring
+
+let test_located_errors () =
+  (* line 2: truncated job line *)
+  check_located_failure "truncated" "; Version: 2.2\n1 0 5 120 1\n"
+    "Swf: line 2: expected 18 fields, got 5";
+  (* line 1: non-numeric runtime (field 4) *)
+  check_located_failure "bad field"
+    "1 0 5 oops 1 110 512 1 300 1024 1 1 1 1 1 1 -1 -1\n"
+    "Swf: line 1: field 4 (run time)";
+  (* line 3: too many fields *)
+  check_located_failure "overlong"
+    "; c\n; d\n1 0 5 120 1 110 512 1 300 1024 1 1 1 1 1 1 -1 -1 99\n"
+    "Swf: line 3: expected 18 fields, got 19"
+
+(* qcheck round-trip over generated jobs: job_to_line is canonical and
+   parse_line inverts it. *)
+let job_gen =
+  QCheck.Gen.(
+    let num = map float_of_int (int_range (-1) 100000) in
+    let frac = map (fun k -> float_of_int k /. 8.0) (int_range 0 80000) in
+    let time = oneof [ num; frac ] in
+    let id = int_range 1 999999 in
+    let small = int_range (-1) 512 in
+    map
+      (fun ((id, submit, wait, runtime), (procs, user, group), (a, b, c)) ->
+        {
+          Swf.id;
+          submit;
+          wait;
+          runtime;
+          procs;
+          cpu_used = a;
+          mem_used = b;
+          req_procs = group;
+          req_time = c;
+          req_mem = a;
+          status = 1;
+          user;
+          group;
+          executable = user;
+          queue = 1;
+          partition = 1;
+          prec_job = -1;
+          think_time = wait;
+        })
+      (triple
+         (quad id time time time)
+         (triple small small small)
+         (triple time time time)))
+
+let job_arb =
+  QCheck.make job_gen ~print:(fun j -> Swf.job_to_line j)
+
+let prop_job_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"job_to_line / parse_line round-trip"
+    job_arb (fun j ->
+      match Swf.parse_line ~lineno:1 (Swf.job_to_line j) with
+      | Some j' -> j = j'
+      | None -> false)
+
+let test_mapping_deterministic () =
+  let t = Swf.of_string sample in
+  let a = Swf.instances t and b = Swf.instances t in
+  Alcotest.(check int) "one instance per job" 3 (Array.length a);
+  Array.iteri
+    (fun k ((_, ia) : Swf.job * Instance.t) ->
+      let _, ib = b.(k) in
+      Alcotest.(check string)
+        (Printf.sprintf "instance %d identical" k)
+        (Suu_core.Instance_io.to_string ia)
+        (Suu_core.Instance_io.to_string ib))
+    a;
+  (* a different seed changes the matrices *)
+  let c =
+    Swf.instances ~mapping:{ Swf.default_mapping with Swf.seed = 9 } t
+  in
+  let differs = ref false in
+  Array.iteri
+    (fun k ((_, ia) : Swf.job * Instance.t) ->
+      let _, ic = c.(k) in
+      if
+        Suu_core.Instance_io.to_string ia
+        <> Suu_core.Instance_io.to_string ic
+      then differs := true)
+    a;
+  Alcotest.(check bool) "seed changes the mapping" true !differs
+
+let test_mapping_calibration () =
+  let t = Swf.of_string sample in
+  let pairs = Swf.instances t in
+  (* width: job 2 has 4 allocated processors *)
+  let _, wide = pairs.(1) in
+  Alcotest.(check int) "width from procs" 4 (Instance.n wide);
+  Alcotest.(check int) "machines from mapping" 4 (Instance.m wide);
+  let _, narrow = pairs.(0) in
+  Alcotest.(check int) "width-1 job" 1 (Instance.n narrow);
+  (* calibration direction: the 3600 s job must carry at least as much
+     failure mass per machine as the 45 s job of the same pool *)
+  let _, short = pairs.(2) in
+  let mean_q inst =
+    let s = ref 0.0 and k = ref 0 in
+    for i = 0 to Instance.m inst - 1 do
+      for j = 0 to Instance.n inst - 1 do
+        s := !s +. Instance.q inst i j;
+        incr k
+      done
+    done;
+    !s /. float_of_int !k
+  in
+  Alcotest.(check bool)
+    "longer runtime, higher q mass" true
+    (mean_q wide > mean_q short);
+  (* every generated job keeps a sub-1 machine *)
+  Array.iter
+    (fun ((_, inst) : Swf.job * Instance.t) ->
+      for j = 0 to Instance.n inst - 1 do
+        let any = ref false in
+        for i = 0 to Instance.m inst - 1 do
+          if Instance.q inst i j < 1.0 then any := true
+        done;
+        Alcotest.(check bool) "solvable" true !any
+      done)
+    pairs
+
+let test_arrival_times () =
+  let t =
+    Swf.of_string
+      "1 100 0 5 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n\
+       2 160 0 5 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n\
+       3 130 0 5 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n"
+  in
+  (* normalized to 0 and clamped non-decreasing despite the
+     out-of-order third stamp *)
+  Alcotest.(check (array (float 0.0)))
+    "normalized + clamped" [| 0.0; 60.0; 60.0 |] (Swf.arrival_times t)
+
+let test_spec_parsing () =
+  (match A.spec_of_string "poisson:25" with
+  | Ok (A.Poisson { rate }) ->
+      Alcotest.(check (float 0.0)) "rate" 25.0 rate
+  | _ -> Alcotest.fail "poisson:25 should parse");
+  (match A.spec_of_string "bursty" with
+  | Ok (A.Bursty _) -> ()
+  | _ -> Alcotest.fail "bursty defaults should parse");
+  (match A.spec_of_string "diurnal:10:120:0.5" with
+  | Ok (A.Diurnal { mean_rate; period; amplitude }) ->
+      Alcotest.(check (float 0.0)) "rate" 10.0 mean_rate;
+      Alcotest.(check (float 0.0)) "period" 120.0 period;
+      Alcotest.(check (float 0.0)) "amp" 0.5 amplitude
+  | _ -> Alcotest.fail "diurnal params should parse");
+  (match A.spec_of_string "poisson:-3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative rate must be rejected");
+  (match A.spec_of_string "wibble" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown spec must be rejected")
+
+let monotone xs =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i > 0 && x < xs.(i - 1) then ok := false) xs;
+  !ok
+
+let test_arrivals_deterministic () =
+  List.iter
+    (fun spec ->
+      let a = A.take (A.create ~seed:7 spec) 200 in
+      let b = A.take (A.create ~seed:7 spec) 200 in
+      Alcotest.(check bool)
+        (A.spec_to_string spec ^ " deterministic")
+        true (a = b);
+      Alcotest.(check bool)
+        (A.spec_to_string spec ^ " monotone")
+        true (monotone a))
+    [
+      A.Poisson { rate = 10.0 };
+      A.Bursty
+        { rate_on = 20.0; rate_off = 0.5; mean_on = 2.0; mean_off = 8.0 };
+      A.Diurnal { mean_rate = 5.0; period = 60.0; amplitude = 0.8 };
+    ]
+
+(* Statistical sanity under a fixed seed: with n exponential
+   inter-arrivals of rate r, the mean inter-arrival is within the
+   normal-approximation 99.9% band around 1/r (width 3.29 sigma,
+   sigma = 1/(r sqrt n)).  Deterministic: the seed is fixed. *)
+let test_poisson_mean_ci () =
+  let rate = 50.0 in
+  let n = 4000 in
+  let xs = A.take (A.create ~seed:3 (A.Poisson { rate })) n in
+  let mean_gap = xs.(n - 1) /. float_of_int (n - 1) in
+  let expected = 1.0 /. rate in
+  let sigma = expected /. sqrt (float_of_int (n - 1)) in
+  let dev = Float.abs (mean_gap -. expected) in
+  if dev > 3.29 *. sigma then
+    Alcotest.failf "poisson mean gap %.6g off %.6g by %.3g sigma" mean_gap
+      expected (dev /. sigma)
+
+let test_trace_source () =
+  let times = [| 0.0; 1.5; 1.5; 4.0 |] in
+  let t = A.create (A.Trace times) in
+  Alcotest.(check (array (float 0.0))) "replayed" times (A.take t 10);
+  Alcotest.(check bool) "exhausted" true (A.next_arrival t = None);
+  (match A.create (A.Trace [| 2.0; 1.0 |]) with
+  | _ -> Alcotest.fail "decreasing trace must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "swf"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "round-trip fixed" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "located errors" `Quick test_located_errors;
+          q prop_job_roundtrip;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_mapping_deterministic;
+          Alcotest.test_case "calibration" `Quick test_mapping_calibration;
+          Alcotest.test_case "arrival times" `Quick test_arrival_times;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "deterministic + monotone" `Quick
+            test_arrivals_deterministic;
+          Alcotest.test_case "poisson mean within CI" `Quick
+            test_poisson_mean_ci;
+          Alcotest.test_case "trace source" `Quick test_trace_source;
+        ] );
+    ]

@@ -71,6 +71,34 @@ let test_random_chains_shape () =
   | Classify.Independent -> () (* all cuts adjacent: degenerate but legal *)
   | _ -> Alcotest.fail "expected chains"
 
+(* Weakly-connected components of a chain DAG: n jobs minus one per
+   edge (every edge merges two components; chains never share jobs). *)
+let components inst =
+  Instance.n inst - Dag.num_edges (Instance.dag inst)
+
+(* Regression: the cut points used to be drawn WITH replacement, so
+   duplicate cuts silently merged runs and produced fewer than z
+   chains (seed 4 at n=17 z=16 reproduced it).  The .mli promises
+   exactly z nonempty chains for every seed. *)
+let test_random_chains_exact_z () =
+  List.iter
+    (fun (n, z) ->
+      for seed = 0 to 99 do
+        let inst = W.random_chains uniform ~n ~z ~m:3 ~seed in
+        Alcotest.(check int)
+          (Printf.sprintf "n=%d z=%d seed=%d" n z seed)
+          z (components inst)
+      done)
+    [ (17, 5); (17, 16); (10, 9); (10, 2); (6, 5); (5, 1); (4, 4); (2, 2) ]
+
+let prop_random_chains_exact_z =
+  QCheck.Test.make ~count:200 ~name:"random_chains yields exactly z chains"
+    QCheck.(triple small_int (int_range 2 24) (int_range 1 24))
+    (fun (seed, n, z) ->
+      let z = min z n in
+      let inst = W.random_chains uniform ~n ~z ~m:3 ~seed in
+      components inst = z)
+
 let test_forest_shape () =
   List.iter
     (fun orientation ->
@@ -102,7 +130,32 @@ let test_validation () =
     (try
        ignore (W.forest uniform ~n:2 ~trees:5 ~orientation:`Out ~m:2 ~seed:0);
        false
+     with Invalid_argument _ -> true);
+  (* hi = 1.0 is rejected: Rng.range can round up to exactly hi, and a
+     q_ij = 1.0 entry slips past the all-ones solvability repair. *)
+  Alcotest.(check bool)
+    "uniform hi = 1.0 rejected" true
+    (try
+       ignore (W.independent (W.Uniform { lo = 0.2; hi = 1.0 }) ~n:4 ~m:2 ~seed:0);
+       false
      with Invalid_argument _ -> true)
+
+(* Stronger than solvability-via-best-machine: every entry of every
+   generated matrix is strictly below 1, the invariant the q_matrix
+   .mli documents. *)
+let prop_q_strictly_below_one =
+  QCheck.Test.make ~count:100 ~name:"every q entry strictly below 1"
+    QCheck.(pair small_int (int_range 0 4))
+    (fun (seed, hz) ->
+      let hazard = List.nth W.default_hazards hz in
+      let inst = W.independent hazard ~n:12 ~m:4 ~seed in
+      let ok = ref true in
+      for i = 0 to 3 do
+        for j = 0 to 11 do
+          if Instance.q inst i j >= 1.0 then ok := false
+        done
+      done;
+      !ok)
 
 let prop_every_job_solvable =
   QCheck.Test.make ~count:100 ~name:"every job has a sub-1 machine"
@@ -136,10 +189,17 @@ let () =
           Alcotest.test_case "independent" `Quick test_independent_shape;
           Alcotest.test_case "chains" `Quick test_chains_shape;
           Alcotest.test_case "random chains" `Quick test_random_chains_shape;
+          Alcotest.test_case "random chains exact z" `Quick
+            test_random_chains_exact_z;
           Alcotest.test_case "forest" `Quick test_forest_shape;
           Alcotest.test_case "mapreduce" `Quick test_mapreduce_shape;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );
       ( "properties",
-        [ q prop_every_job_solvable; q prop_forest_instances_decompose ] );
+        [
+          q prop_every_job_solvable;
+          q prop_forest_instances_decompose;
+          q prop_random_chains_exact_z;
+          q prop_q_strictly_below_one;
+        ] );
     ]
