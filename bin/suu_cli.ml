@@ -137,26 +137,18 @@ let describe_cmd =
 
 (* --- simulate --- *)
 
+(* Every applicable concrete policy, from the shared registry ("auto"
+   is skipped: it duplicates one of the dispatched rows). *)
 let policies_for inst =
-  let paper =
-    match Suu_dag.Classify.classify (Suu_core.Instance.dag inst) with
-    | Suu_dag.Classify.Independent ->
-        [
-          ("suu-i-sem", Suu_core.Suu_i_sem.policy inst);
-          ("suu-i-obl", Suu_core.Suu_i_obl.policy inst);
-        ]
-    | Suu_dag.Classify.Disjoint_chains _ ->
-        [ ("suu-c", Suu_core.Suu_c.policy inst) ]
-    | Suu_dag.Classify.Directed_forest _ ->
-        [ ("suu-t", Suu_core.Suu_t.policy inst) ]
-    | Suu_dag.Classify.General -> []
-  in
-  paper
-  @ [
-      ("greedy", Suu_core.Baselines.greedy_completion inst);
-      ("round-robin", Suu_core.Baselines.round_robin inst);
-      ("serial", Suu_core.Baselines.serial inst);
-    ]
+  Suu_sched.Register.ensure ();
+  List.filter_map
+    (fun name ->
+      if name = "auto" then None
+      else
+        match Suu_core.Policy_registry.build name inst with
+        | Ok p -> Some (name, p)
+        | Error _ -> None)
+    (Suu_core.Policy_registry.applicable inst)
 
 let simulate shape hazard n m seed reps load =
   with_instance load shape hazard n m seed None (fun inst ->
@@ -187,6 +179,26 @@ let simulate_cmd =
       term_result
         (const simulate $ shape $ hazard $ n_jobs $ n_machines $ seed $ reps
         $ load_arg))
+
+(* --- policies: the registry, human-readable --- *)
+
+let policies () =
+  Suu_sched.Register.ensure ();
+  let module R = Suu_core.Policy_registry in
+  List.iter
+    (fun (e : R.entry) ->
+      Printf.printf "%-16s %-18s %-6s %s\n   %s\n" e.R.name
+        (R.describe_requirement e.R.shape)
+        (if e.R.lp_free then "no-LP" else "LP")
+        e.R.guarantee e.R.summary)
+    (R.entries ())
+
+let policies_cmd =
+  let doc =
+    "List every registered policy with its shape requirement, LP usage \
+     and approximation guarantee."
+  in
+  Cmd.v (Cmd.info "policies" ~doc) Term.(const policies $ const ())
 
 (* --- optimal (tiny instances) --- *)
 
@@ -954,7 +966,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            describe_cmd; simulate_cmd; optimal_cmd; stoch_cmd; gantt_cmd;
-            serve_cmd; router_cmd; client_cmd; replay_cmd; store_cmd;
-            workload_cmd;
+            describe_cmd; simulate_cmd; policies_cmd; optimal_cmd; stoch_cmd;
+            gantt_cmd; serve_cmd; router_cmd; client_cmd; replay_cmd;
+            store_cmd; workload_cmd;
           ]))

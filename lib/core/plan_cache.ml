@@ -33,6 +33,14 @@ let g_hits = lazy (Suu_obs.Registry.counter "plan_cache.hits")
 let g_misses = lazy (Suu_obs.Registry.counter "plan_cache.misses")
 let g_evictions = lazy (Suu_obs.Registry.counter "plan_cache.evictions")
 
+(* LP-free policies (lzf, backfill, the greedy baselines) never consult
+   the store; the server notes each such request here so operators can
+   see the no-LP traffic share, and so the serve hit-rate gate knows the
+   hit/miss denominator excludes these requests by construction. *)
+let g_bypasses = lazy (Suu_obs.Registry.counter "plan_cache.bypass")
+let note_bypass () = Suu_obs.Counter.incr (Lazy.force g_bypasses)
+let bypasses () = Suu_obs.Counter.get (Lazy.force g_bypasses)
+
 type entry = { plan : Oblivious.t; mutable tick : int }
 
 (* The lookup key, kept structural: policies look a plan up at every

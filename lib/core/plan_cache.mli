@@ -94,3 +94,12 @@ val shard_stats : unit -> stats array
 (** Per-shard traffic of the process-global store, index-aligned with
     the [plan_cache.shardN.*] registry counters.  Private stores are
     not included. *)
+
+val note_bypass : unit -> unit
+(** Record one request served by an LP-free policy that never consulted
+    the store ([plan_cache.bypass] in the obs registry).  Bypasses are
+    deliberately {e not} part of {!stats}: they must not dilute the
+    hit rate the serve gate floors at 0.8. *)
+
+val bypasses : unit -> int
+(** Process-wide bypass count since start. *)

@@ -1,0 +1,114 @@
+module Classify = Suu_dag.Classify
+
+type shape_req = Any_shape | Independent_only | Chains_only | Forest_only
+
+type entry = {
+  name : string;
+  summary : string;
+  guarantee : string;
+  lp_free : bool;
+  shape : shape_req;
+  build : solver:Solver_choice.t option -> Instance.t -> Policy.t;
+}
+
+(* Registration order is presentation order (describe, [suu policies],
+   bench tables), so keep a list next to the by-name table. *)
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+let order : entry list ref = ref []
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register e =
+  locked (fun () ->
+      if Hashtbl.mem table e.name then
+        invalid_arg
+          (Printf.sprintf "Policy_registry.register: duplicate policy %S"
+             e.name);
+      Hashtbl.add table e.name e;
+      order := e :: !order)
+
+let entries () = locked (fun () -> List.rev !order)
+let names () = List.map (fun e -> e.name) (entries ())
+let find name = locked (fun () -> Hashtbl.find_opt table name)
+let mem name = locked (fun () -> Hashtbl.mem table name)
+
+let lp_free name =
+  match find name with Some e -> e.lp_free | None -> false
+
+let shape_ok req (s : Classify.shape) =
+  match (req, s) with
+  | Any_shape, _ -> true
+  | Independent_only, Classify.Independent -> true
+  | Independent_only, _ -> false
+  | Chains_only, Classify.Disjoint_chains _ -> true
+  | Chains_only, _ -> false
+  | Forest_only, Classify.Directed_forest _ -> true
+  | Forest_only, _ -> false
+
+let describe_requirement = function
+  | Any_shape -> "any dag"
+  | Independent_only -> "independent jobs"
+  | Chains_only -> "disjoint chains"
+  | Forest_only -> "a directed forest"
+
+let build ?solver name inst =
+  match find name with
+  | None ->
+      Result.Error
+        (`Unknown
+          (Printf.sprintf "unknown policy %S (have: %s)" name
+             (String.concat ", " (names ()))))
+  | Some e ->
+      let s = Classify.classify (Instance.dag inst) in
+      if shape_ok e.shape s then Result.Ok (e.build ~solver inst)
+      else
+        Result.Error
+          (`Inapplicable
+            (Printf.sprintf "policy %s requires %s (instance is: %s)" name
+               (describe_requirement e.shape)
+               (Classify.describe s)))
+
+let applicable inst =
+  let s = Classify.classify (Instance.dag inst) in
+  List.filter_map
+    (fun e -> if shape_ok e.shape s then Some e.name else None)
+    (entries ())
+
+(* --- the core (paper) policies --- *)
+
+let core name summary guarantee ~lp_free ~shape build =
+  { name; summary; guarantee; lp_free; shape; build }
+
+let () =
+  List.iter register
+    [ core "auto" "shape dispatch: SUU-I-SEM / SUU-C / SUU-T / greedy"
+        "per dispatched policy" ~lp_free:false ~shape:Any_shape
+        (fun ~solver inst -> Auto.policy ?solver inst);
+      core "suu-i-sem" "semi-adaptive doubling over LP1 round plans"
+        "O(log log min(m,n))" ~lp_free:false ~shape:Independent_only
+        (fun ~solver inst -> Suu_i_sem.policy ?solver inst);
+      core "suu-i-obl" "oblivious single-plan LP1 schedule"
+        "O(log n)" ~lp_free:false ~shape:Independent_only
+        (fun ~solver inst -> Suu_i_obl.policy ?solver inst);
+      core "greedy-oblivious" "greedy-filled oblivious plan (no LP)"
+        "heuristic" ~lp_free:true ~shape:Independent_only
+        (fun ~solver:_ inst -> Baselines.greedy_oblivious inst);
+      core "suu-c" "chain decomposition over SUU-I rounds"
+        "O(log(n+m) * log log min(m,n))" ~lp_free:false ~shape:Chains_only
+        (fun ~solver inst -> Suu_c.policy ?solver inst);
+      core "suu-t" "directed-forest block schedule"
+        "O(log n * log(n+m) * log log min(m,n))" ~lp_free:false
+        ~shape:Forest_only
+        (fun ~solver inst -> Suu_t.policy ?solver inst);
+      core "greedy" "Lin-Rajaraman completion-probability greedy"
+        "heuristic" ~lp_free:true ~shape:Any_shape
+        (fun ~solver:_ inst -> Baselines.greedy_completion inst);
+      core "round-robin" "rotate eligible jobs across machines"
+        "heuristic" ~lp_free:true ~shape:Any_shape
+        (fun ~solver:_ inst -> Baselines.round_robin inst);
+      core "serial" "all machines on the first eligible job"
+        "heuristic" ~lp_free:true ~shape:Any_shape
+        (fun ~solver:_ inst -> Baselines.serial inst) ]

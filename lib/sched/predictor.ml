@@ -1,0 +1,73 @@
+module Instance = Suu_core.Instance
+module Rng = Suu_prng.Rng
+
+type cls = {
+  window : float array; (* ring buffer of the last-k runtimes *)
+  mutable filled : int; (* min(observations, window length) *)
+  mutable next : int; (* ring write position *)
+  mutable sum : float; (* sum of the [filled] live entries *)
+  mutable total : int; (* observations ever *)
+  initial : float; (* jittered model estimate, used while empty *)
+}
+
+type t = { class_of : int array; (* job -> class (best machine) *)
+           classes : cls array }
+
+let ln2 = Float.log 2.0
+let e_threshold = 1.0 /. ln2 (* E[-log2 r], r ~ U(0,1) *)
+
+let execution_seed ~digest ~policy rng =
+  let h1 = Hashtbl.hash digest and h2 = Hashtbl.hash policy in
+  (Int64.to_int (Rng.bits64 rng) lxor (h1 * 0x9e3779b1)
+  lxor (h2 * 0x85ebca6b))
+  land max_int
+
+let create ?(window = 8) ?(jitter = 0.1) inst ~seed =
+  if window < 1 then invalid_arg "Predictor.create: window must be >= 1";
+  if jitter < 0.0 then invalid_arg "Predictor.create: jitter must be >= 0";
+  let n = Instance.n inst and m = Instance.m inst in
+  let class_of = Array.init n (fun j -> Instance.best_machine inst j) in
+  let rng = Rng.create ~seed in
+  (* One jitter factor per class, drawn in machine order so the stream
+     is independent of which classes are inhabited. *)
+  let factor = Array.init m (fun _ -> 1.0 +. (jitter *. Rng.range rng ~lo:(-1.0) ~hi:1.0)) in
+  (* Model estimate per class: expected steps of a threshold-E[w] job
+     on its best machine.  A zero-failure machine (l = infinity)
+     completes any job in one step. *)
+  let model i =
+    let best = ref 0.0 in
+    for j = 0 to n - 1 do
+      if class_of.(j) = i then begin
+        let l = Instance.log_failure inst i j in
+        let est = if l = infinity then 1.0 else e_threshold /. l in
+        (* class estimate: mean over member jobs *)
+        best := !best +. est
+      end
+    done;
+    let members = Array.fold_left (fun a c -> if c = i then a + 1 else a) 0 class_of in
+    if members = 0 then 1.0 else Float.max 1.0 (!best /. float_of_int members)
+  in
+  let classes =
+    Array.init m (fun i ->
+        { window = Array.make window 0.0; filled = 0; next = 0; sum = 0.0;
+          total = 0; initial = Float.max 1.0 (model i *. factor.(i)) })
+  in
+  { class_of; classes }
+
+let predict t j =
+  let c = t.classes.(t.class_of.(j)) in
+  if c.filled = 0 then c.initial
+  else Float.max 1.0 (c.sum /. float_of_int c.filled)
+
+let observe t ~job ~runtime =
+  let c = t.classes.(t.class_of.(job)) in
+  let r = float_of_int (max 1 runtime) in
+  let k = Array.length c.window in
+  if c.filled = k then c.sum <- c.sum -. c.window.(c.next)
+  else c.filled <- c.filled + 1;
+  c.window.(c.next) <- r;
+  c.sum <- c.sum +. r;
+  c.next <- (c.next + 1) mod k;
+  c.total <- c.total + 1
+
+let observed t j = (t.classes.(t.class_of.(j))).total

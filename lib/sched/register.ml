@@ -1,0 +1,24 @@
+module R = Suu_core.Policy_registry
+
+let lock = Mutex.create ()
+let done_ = ref false
+
+let ensure () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      if not !done_ then begin
+        done_ := true;
+        R.register
+          { R.name = "lzf";
+            summary = "largest-Z-ratio-first greedy (online, no LP)";
+            guarantee = "0.8531-approximate (independent, uniform machines)";
+            lp_free = true; shape = R.Any_shape;
+            build = (fun ~solver:_ inst -> Lzf.policy inst) };
+        R.register
+          { R.name = "backfill";
+            summary = "EASY backfill + per-class runtime prediction";
+            guarantee = "heuristic"; lp_free = true; shape = R.Any_shape;
+            build = (fun ~solver:_ inst -> Backfill.policy inst) }
+      end)

@@ -1,0 +1,11 @@
+(** Hook [Suu_sched]'s policies into {!Suu_core.Policy_registry}.
+
+    Registration must be explicit: OCaml's linker drops a library
+    module nothing references, so relying on this module's initializer
+    as a side effect would silently lose the policies in any executable
+    that never names [Suu_sched].  Every entry point that serves
+    policies by name (the server's [Service.create], the CLI, the bench
+    harness, the tests) calls {!ensure} once instead. *)
+
+val ensure : unit -> unit
+(** Register ["lzf"] and ["backfill"] (idempotent, thread-safe). *)

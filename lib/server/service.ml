@@ -39,6 +39,10 @@ let create ?(instance_cache_capacity = 64) ?sim_jobs ?solver ?extra_stats
     ?(clock_ns = Suu_obs.Clock.now_ns) ~metrics () =
   if instance_cache_capacity < 1 then
     invalid_arg "Service.create: instance_cache_capacity must be >= 1";
+  (* The online family registers itself on demand; a server must be
+     able to answer policy=lzf/backfill whether or not anything else
+     referenced [Suu_sched] first. *)
+  Suu_sched.Register.ensure ();
   { lock = Mutex.create (); cache = Hashtbl.create 64;
     order = Queue.create (); capacity = instance_cache_capacity; sim_jobs;
     solver; extra_stats; metrics; clock_ns }
@@ -66,53 +70,22 @@ let entry_for t inst =
   Mutex.unlock t.lock;
   e
 
-(* --- the policy registry --- *)
+(* --- policy dispatch (one registry for server, CLI and bench) --- *)
 
-let policy_names =
-  [ "auto"; "suu-i-sem"; "suu-i-obl"; "greedy-oblivious"; "suu-c";
-    "suu-t"; "greedy"; "round-robin"; "serial" ]
+module Registry = Suu_core.Policy_registry
+
+let policy_names () = Registry.names ()
 
 let shape inst = Classify.classify (Instance.dag inst)
 
-(* Shape-restricted policies are validated here rather than left to the
-   engine's Invalid_schedule: the client gets "inapplicable", not
+(* Shape validation happens in the registry rather than being left to
+   the engine's Invalid_schedule: the client gets "inapplicable", not
    "policy bug". *)
 let build_policy ?solver name inst =
-  let open Suu_core in
-  let requires what ok f =
-    if ok then Result.Ok (f ())
-    else
-      Result.Error
-        (P.Bad_request,
-         Printf.sprintf "policy %s requires %s (instance is: %s)" name what
-           (Classify.describe (shape inst)))
-  in
-  let s = shape inst in
-  match name with
-  | "auto" -> Result.Ok (Auto.policy ?solver inst)
-  | "suu-i-sem" ->
-      requires "independent jobs" (s = Classify.Independent) (fun () ->
-          Suu_i_sem.policy ?solver inst)
-  | "suu-i-obl" ->
-      requires "independent jobs" (s = Classify.Independent) (fun () ->
-          Suu_i_obl.policy ?solver inst)
-  | "greedy-oblivious" ->
-      requires "independent jobs" (s = Classify.Independent) (fun () ->
-          Baselines.greedy_oblivious inst)
-  | "suu-c" ->
-      let ok = match s with Classify.Disjoint_chains _ -> true | _ -> false in
-      requires "disjoint chains" ok (fun () -> Suu_c.policy ?solver inst)
-  | "suu-t" ->
-      let ok = match s with Classify.Directed_forest _ -> true | _ -> false in
-      requires "a directed forest" ok (fun () -> Suu_t.policy ?solver inst)
-  | "greedy" -> Result.Ok (Baselines.greedy_completion inst)
-  | "round-robin" -> Result.Ok (Baselines.round_robin inst)
-  | "serial" -> Result.Ok (Baselines.serial inst)
-  | _ ->
-      Result.Error
-        (P.Bad_request,
-         Printf.sprintf "unknown policy %S (have: %s)" name
-           (String.concat ", " policy_names))
+  match Registry.build ?solver name inst with
+  | Result.Ok _ as ok -> ok
+  | Result.Error (`Unknown msg) | Result.Error (`Inapplicable msg) ->
+      Result.Error (P.Bad_request, msg)
 
 let get_policy t inst name =
   let e = entry_for t inst in
@@ -136,15 +109,7 @@ let get_policy t inst name =
 
 let f17 = Printf.sprintf "%.17g"
 
-let applicable_policies inst =
-  let paper =
-    match shape inst with
-    | Classify.Independent -> [ "suu-i-sem"; "suu-i-obl"; "greedy-oblivious" ]
-    | Classify.Disjoint_chains _ -> [ "suu-c" ]
-    | Classify.Directed_forest _ -> [ "suu-t" ]
-    | Classify.General -> []
-  in
-  ("auto" :: paper) @ [ "greedy"; "round-robin"; "serial" ]
+let applicable_policies inst = Registry.applicable inst
 
 let describe inst =
   [ ("name", Instance.name inst);
@@ -164,10 +129,17 @@ let lower_bound t ~deadline inst =
   [ ("lp1_half", f17 lp); ("critical_path", f17 cp); ("work", f17 work);
     ("combined", f17 (Float.max 1.0 (Float.max lp (Float.max cp work)))) ]
 
+(* An LP-free policy answers without ever probing the plan cache; count
+   the request as an explicit bypass so the no-LP traffic share is
+   visible and the hit-rate denominator stays LP-only. *)
+let note_bypass name =
+  if Registry.lp_free name then Suu_core.Plan_cache.note_bypass ()
+
 let plan t ~deadline inst name ~seed =
   match get_policy t inst name with
   | Result.Error _ as e -> e
   | Result.Ok policy ->
+      note_bypass name;
       let m = Instance.m inst and n = Instance.n inst in
       let trace_rng, policy_rng = (Suu_sim.Runner.rep_rngs ~seed ~reps:1).(0) in
       let trace = Suu_sim.Trace.draw ~n trace_rng in
@@ -201,6 +173,7 @@ let simulate t ~deadline inst name ~reps ~seed =
   match get_policy t inst name with
   | Result.Error _ as e -> e
   | Result.Ok policy ->
+      note_bypass name;
       let n = Instance.n inst in
       let rngs = Suu_sim.Runner.rep_rngs ~seed ~reps in
       let results = Array.make reps 0.0 in
@@ -254,6 +227,7 @@ let stats_fields t =
   @ [ ("plan_cache_hits", string_of_int pc.PC.hits);
       ("plan_cache_misses", string_of_int pc.PC.misses);
       ("plan_cache_evictions", string_of_int pc.PC.evictions);
+      ("plan_cache_bypass", string_of_int (PC.bypasses ()));
       ("plan_cache_hit_rate", f17 (PC.hit_rate pc));
       ("solver",
        Suu_core.Solver_choice.name

@@ -9,6 +9,6 @@
 . "$(dirname "$0")/smoke_lib.sh"
 
 for f in BENCH_perf.json BENCH_serve.json BENCH_chaos.json \
-         BENCH_replay.json BENCH_shard.json; do
+         BENCH_replay.json BENCH_shard.json BENCH_table1.json; do
   "$GATE" regression "$f" bench/baseline.json
 done

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Table-1 harness smoke at tiny size: ratio-vs-lower-bound and
+# steps/sec for the online policies (lzf, backfill) next to the LP
+# policies and baselines, over synthetic shapes and the checked-in SWF
+# trace.  The JSON artifact feeds the regression gate, which holds the
+# single-machine 0.8531 bound and the LZF-vs-SEM cold-path speedup
+# floor.
+. "$(dirname "$0")/smoke_lib.sh"
+
+SUU_PERF_SCALE=tiny "$BENCH" table1
+test -s BENCH_table1.json
+grep -q '"experiment": "table1"' BENCH_table1.json
+grep -q '"policy": "lzf"' BENCH_table1.json
+grep -q '"policy": "backfill"' BENCH_table1.json
+grep -q '"kind": "swf"' BENCH_table1.json

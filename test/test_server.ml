@@ -441,6 +441,35 @@ let test_e2e_deterministic_across_pools () =
     (bytes_with ~workers:1 ~sim_jobs:(Some 1))
     (bytes_with ~workers:4 ~sim_jobs:(Some 4))
 
+let test_e2e_online_policies_deterministic () =
+  (* The lib/sched policies carry per-execution predictor state seeded
+     from (digest, policy, seed): two serves of the same request must
+     be byte-identical, and a different seed must actually change the
+     outcome (or the determinism claim is vacuous). *)
+  let inst = W.independent uniform ~n:10 ~m:3 ~seed:17 in
+  with_server (fun server ->
+      with_client server (fun c ->
+          List.iter
+            (fun policy ->
+              let ask seed =
+                P.response_to_string
+                  (Client.call c (P.Simulate { inst; policy; reps = 9; seed }))
+              in
+              Alcotest.(check string)
+                (policy ^ " same-seed replay byte-identical")
+                (ask 7) (ask 7);
+              Alcotest.(check bool)
+                (policy ^ " different seed differs")
+                true
+                (ask 7 <> ask 8))
+            [ "lzf"; "backfill" ];
+          (* Both policies are LP-free: the serve path must have counted
+             their plan-cache bypasses and exposed them in stats. *)
+          let st = Client.stats c () in
+          Alcotest.(check bool)
+            "plan_cache_bypass positive" true
+            (int_of_string (field st "plan_cache_bypass") > 0)))
+
 (* --- faults --- *)
 
 let test_faults_spec () =
@@ -980,6 +1009,8 @@ let () =
             test_e2e_deadline_timeout;
           Alcotest.test_case "deterministic across pools" `Quick
             test_e2e_deterministic_across_pools;
+          Alcotest.test_case "online policies serve deterministically" `Quick
+            test_e2e_online_policies_deterministic;
           Alcotest.test_case "graceful shutdown drains" `Quick
             test_e2e_graceful_shutdown_drains;
           Alcotest.test_case "solver parity and stats" `Quick
